@@ -1,0 +1,70 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index).  They share:
+
+* a single :class:`~repro.simulation.experiments.ExperimentScale` (the
+  reduced-but-faithful scale described in DESIGN.md section 5),
+* a cached per-benchmark constrained parameter search (Figures 4, 5, 6 and
+  the Section 5.6 studies all start from the Figure 3 base configuration),
+* a ``results/`` directory where each bench writes the text table it
+  regenerates, so the EXPERIMENTS.md comparison can be refreshed from a
+  single ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.config.parameters import DRIParameters
+from repro.simulation.experiments import DEFAULT_SCALE, ExperimentScale
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+from repro.workloads.spec95 import benchmark_names
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = DEFAULT_SCALE
+"""Scale used by the architectural benches (600K instructions per run)."""
+
+
+def write_result(name: str, text: str) -> Path:
+    """Write a bench's regenerated table under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@lru_cache(maxsize=None)
+def shared_sweep(scale: ExperimentScale = BENCH_SCALE) -> ParameterSweep:
+    """One sweep (simulator + trace cache + baselines) shared by all benches."""
+    simulator = Simulator(
+        trace_instructions=scale.trace_instructions, seed=scale.seed
+    )
+    return ParameterSweep(simulator, base_parameters=scale.base_parameters())
+
+
+@lru_cache(maxsize=None)
+def base_constrained_parameters(
+    scale: ExperimentScale = BENCH_SCALE,
+) -> Dict[str, Tuple[DRIParameters, float]]:
+    """The Figure 3 performance-constrained base configuration per benchmark.
+
+    Returns ``{benchmark: (parameters, relative energy-delay)}`` and is
+    cached so Figures 4-6 and the Section 5.6 studies do not redo the grid
+    search.
+    """
+    sweep = shared_sweep(scale)
+    result: Dict[str, Tuple[DRIParameters, float]] = {}
+    for name in benchmark_names():
+        parameters, point = sweep.best_configuration(
+            name,
+            constrained=True,
+            miss_bounds=scale.miss_bounds,
+            size_bounds=scale.size_bounds,
+        )
+        result[name] = (parameters, point.energy_delay)
+    return result

@@ -1,0 +1,63 @@
+"""Ablation A1 — static sizing versus dynamic (DRI) resizing.
+
+The paper's related work includes statically reconfigurable caches
+([1], [21]) that pick one configuration per application before it runs;
+the DRI i-cache's claim is that adapting *during* execution matters.
+This ablation quantifies that claim with this library's machinery:
+
+* for every benchmark, find the best single static size (gated down
+  permanently, no adaptation) whose slowdown stays within 4%;
+* compare its energy-delay product with the DRI i-cache's base
+  constrained configuration.
+
+Expected shape: for single-phase benchmarks the two are close (a static
+cache sized to the working set is hard to beat); for phased benchmarks
+(class 3) and for the suite on average the DRI i-cache matches or beats
+the best static choice, because no single size fits all phases.
+"""
+
+from __future__ import annotations
+
+from _shared import BENCH_SCALE, base_constrained_parameters, shared_sweep, write_result
+
+from repro.analysis.report import format_table
+from repro.simulation.experiments import static_versus_dynamic_experiment
+
+
+def run_ablation():
+    base = {name: params for name, (params, _) in base_constrained_parameters(BENCH_SCALE).items()}
+    return static_versus_dynamic_experiment(
+        scale=BENCH_SCALE, sweep=shared_sweep(BENCH_SCALE), base_parameters=base
+    )
+
+
+def test_static_versus_dynamic(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table = format_table(
+        ["Benchmark", "best static size", "static E*D", "static slow%", "DRI E*D", "DRI slow%"],
+        [
+            [
+                row.benchmark,
+                f"{row.static_size_bytes // 1024}K",
+                f"{row.static_energy_delay:.2f}",
+                f"{row.static_slowdown_percent:.1f}",
+                f"{row.dynamic_energy_delay:.2f}",
+                f"{row.dynamic_slowdown_percent:.1f}",
+            ]
+            for row in rows
+        ],
+    )
+    text = "Ablation: best static size vs DRI dynamic resizing\n" + table
+    write_result("ablation_static_vs_dri", text)
+    print("\n" + text)
+
+    assert len(rows) == 15
+    # Both sides stay within sane bounds.
+    for row in rows:
+        assert 0.0 < row.static_energy_delay <= 1.05
+        assert 0.0 < row.dynamic_energy_delay <= 1.05
+    # On average the dynamic scheme is at least competitive with the best
+    # per-application static size.
+    mean_static = sum(row.static_energy_delay for row in rows) / len(rows)
+    mean_dynamic = sum(row.dynamic_energy_delay for row in rows) / len(rows)
+    assert mean_dynamic <= mean_static + 0.1

@@ -1,0 +1,59 @@
+"""Ablation A2 — the resizing throttle (Section 2.1).
+
+The DRI i-cache uses a small saturating counter to detect repeated
+resizing and temporarily block downsizing.  This ablation runs every
+benchmark's base constrained configuration with the throttle enabled (the
+paper's configuration: 3-bit counter, ten-interval hold) and disabled
+(zero-interval hold), and compares energy-delay and slowdown.
+
+Expected shape: the throttle is a stability/performance protection.
+Benchmarks whose required size falls between two DRI sizes (the
+large-footprint class, and the tight-loop codes whose working set
+straddles the size-bound) resize less often and lose less performance
+with the throttle; the price is that a few irregularly phased benchmarks
+(tomcatv, su2cor) are held at a larger size for the ten-interval hold and
+give back some leakage savings.  Averaged over the suite the throttle
+should cut slowdown without costing much energy-delay.
+"""
+
+from __future__ import annotations
+
+from _shared import BENCH_SCALE, base_constrained_parameters, shared_sweep, write_result
+
+from repro.analysis.report import format_sensitivity
+from repro.simulation.experiments import throttle_ablation_experiment
+
+
+def run_ablation():
+    base = {name: params for name, (params, _) in base_constrained_parameters(BENCH_SCALE).items()}
+    return throttle_ablation_experiment(
+        scale=BENCH_SCALE, sweep=shared_sweep(BENCH_SCALE), base_parameters=base
+    )
+
+
+def test_throttle_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    text = format_sensitivity(result, title="Ablation: resizing throttle on / off")
+    write_result("ablation_throttle", text)
+    print("\n" + text)
+
+    assert set(result.variations) == {"throttle", "no-throttle"}
+    energy_with = []
+    energy_without = []
+    slowdown_with = []
+    slowdown_without = []
+    for name, variations in result.rows.items():
+        with_throttle = variations["throttle"]
+        without = variations["no-throttle"]
+        # Per benchmark the throttle's energy cost stays bounded...
+        assert with_throttle.relative_energy_delay <= without.relative_energy_delay + 0.20, name
+        # ...and it never adds slowdown beyond noise (it exists to remove it).
+        assert with_throttle.slowdown_percent <= without.slowdown_percent + 2.0, name
+        energy_with.append(with_throttle.relative_energy_delay)
+        energy_without.append(without.relative_energy_delay)
+        slowdown_with.append(with_throttle.slowdown_percent)
+        slowdown_without.append(without.slowdown_percent)
+    count = len(energy_with)
+    # Averaged over the suite: slowdown improves, energy-delay barely moves.
+    assert sum(slowdown_with) / count <= sum(slowdown_without) / count + 0.1
+    assert sum(energy_with) / count <= sum(energy_without) / count + 0.08

@@ -1,0 +1,64 @@
+"""Experiment E3 — Figure 3: base energy-delay and average cache size.
+
+Runs the full constrained/unconstrained parameter search for all fifteen
+benchmarks on the 64K direct-mapped DRI i-cache and regenerates both
+panels of Figure 3: the normalised leakage energy-delay product (split
+into leakage and extra-dynamic components) and the average cache size.
+
+Shape checks against the paper:
+
+* class 1 benchmarks (applu, compress, li, mgrid, swim) downsize to near
+  the size-bound and cut the energy-delay product by well over half;
+* fpppp cannot downsize without thrashing, so its constrained energy-delay
+  stays near 1.0;
+* every constrained configuration keeps the slowdown within 4%;
+* the mean constrained energy-delay reduction lands in the region of the
+  paper's 62% (we accept 45-80% given the synthetic workloads);
+* unconstrained search never yields a worse energy-delay than constrained.
+"""
+
+from __future__ import annotations
+
+from _shared import BENCH_SCALE, shared_sweep, write_result
+
+from repro.analysis.report import format_figure3
+from repro.simulation.experiments import figure3_experiment
+from repro.workloads.phases import BenchmarkClass
+from repro.workloads.spec95 import benchmarks_in_class
+
+
+def run_figure3():
+    return figure3_experiment(scale=BENCH_SCALE, sweep=shared_sweep(BENCH_SCALE))
+
+
+def test_figure3_base_energy_delay(benchmark):
+    result = benchmark.pedantic(run_figure3, rounds=1, iterations=1)
+    text = format_figure3(result)
+    write_result("fig3_base_energy_delay", text)
+    print("\n" + text)
+
+    class1 = [spec.name for spec in benchmarks_in_class(BenchmarkClass.SMALL_FOOTPRINT)]
+
+    for row in result.constrained:
+        # The performance constraint holds for every benchmark.
+        assert row.slowdown_percent <= 4.0 + 1e-6, row.benchmark
+        # The extra dynamic component never dominates (Section 5.3).
+        assert row.dynamic_component <= 0.5 * max(row.relative_energy_delay, 1e-9), row.benchmark
+
+    for name in class1:
+        row = result.row(name)
+        assert row.relative_energy_delay < 0.45, name
+        assert row.average_size_fraction < 0.45, name
+
+    fpppp = result.row("fpppp")
+    assert fpppp.relative_energy_delay > 0.7
+
+    mean_reduction = result.mean_energy_delay_reduction(constrained=True)
+    assert 0.45 <= mean_reduction <= 0.85
+
+    for constrained_row in result.constrained:
+        unconstrained_row = result.row(constrained_row.benchmark, constrained=False)
+        assert (
+            unconstrained_row.relative_energy_delay
+            <= constrained_row.relative_energy_delay + 1e-9
+        )

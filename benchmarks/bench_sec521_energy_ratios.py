@@ -1,0 +1,68 @@
+"""Experiment E2 — Section 5.2.1: dynamic-versus-leakage energy ratios.
+
+The paper argues that the two dynamic-energy overheads a DRI i-cache adds
+are small compared with the leakage it saves:
+
+* extra L1 dynamic energy (resizing tag bits) is ~2.4% of the L1 leakage
+  energy with 5 resizing bits and a 0.5 active fraction,
+* extra L2 dynamic energy is ~8% of the L1 leakage energy with a 1%
+  absolute extra miss rate and a 0.5 active fraction.
+
+This bench evaluates the same ratios from the energy model, both with the
+paper's constants and with the constants derived from this library's own
+circuit models, and sweeps the assumptions to show where the overheads
+would start to matter.
+"""
+
+from __future__ import annotations
+
+from _shared import write_result
+
+from repro.analysis.report import format_table
+from repro.energy.constants import EnergyConstants
+from repro.energy.model import EnergyModel
+from repro.simulation.experiments import section521_ratios
+
+
+def _ratio_sweep(model: EnergyModel) -> list:
+    rows = []
+    for bits in (2, 5, 8):
+        for active in (0.25, 0.5, 0.75):
+            rows.append(
+                [
+                    f"{bits} bits / active {active:.2f}",
+                    f"{model.l1_dynamic_to_leakage_ratio(bits, active):.3f}",
+                    f"{model.l2_dynamic_to_leakage_ratio(0.01, active):.3f}",
+                ]
+            )
+    return rows
+
+
+def test_section521_energy_ratios(benchmark):
+    ratios = benchmark.pedantic(section521_ratios, rounds=1, iterations=1)
+
+    paper_model = EnergyModel()
+    circuit_model = EnergyModel(EnergyConstants.from_circuit())
+    text = "\n".join(
+        [
+            "Section 5.2.1 energy ratios (paper constants):",
+            f"  extra L1 dynamic / L1 leakage = {ratios['l1_dynamic_to_leakage']:.3f}"
+            "  (paper: ~0.024)",
+            f"  extra L2 dynamic / L1 leakage = {ratios['l2_dynamic_to_leakage']:.3f}"
+            "  (paper: ~0.08)",
+            "",
+            "Sweep over resizing bits and active fraction (L2 ratio at 1% extra misses):",
+            format_table(["assumptions", "L1 ratio", "L2 ratio"], _ratio_sweep(paper_model)),
+            "",
+            "Same ratios with circuit-derived constants:",
+            format_table(["assumptions", "L1 ratio", "L2 ratio"], _ratio_sweep(circuit_model)),
+        ]
+    )
+    write_result("sec521_energy_ratios", text)
+    print("\n" + text)
+
+    assert abs(ratios["l1_dynamic_to_leakage"] - 0.024) < 0.004
+    assert abs(ratios["l2_dynamic_to_leakage"] - 0.08) < 0.01
+    # The circuit-derived constants tell the same story (both ratios well below 1).
+    assert circuit_model.l1_dynamic_to_leakage_ratio(5, 0.5) < 0.1
+    assert circuit_model.l2_dynamic_to_leakage_ratio(0.01, 0.5) < 0.2

@@ -1,0 +1,84 @@
+"""Experiment E7 — Section 5.6: sense-interval length and divisibility.
+
+Two robustness studies around the base constrained configuration:
+
+* the sense-interval length is swept over a 16x range (0.25x to 4x of the
+  base interval); the paper reports the energy-delay changes by less than
+  1% for all but one benchmark (go, with its irregular phases, moves by up
+  to 5%) — at this reproduction's reduced scale we check a looser but
+  still small bound;
+* the divisibility is raised from 2 to 4 and 8; the paper reports the
+  coarser steps prevent the cache from settling near the required size and
+  therefore do not improve (and can worsen) the energy-delay.
+"""
+
+from __future__ import annotations
+
+from _shared import BENCH_SCALE, base_constrained_parameters, shared_sweep, write_result
+
+from repro.analysis.report import format_sensitivity
+from repro.simulation.experiments import (
+    section56_divisibility_experiment,
+    section56_interval_experiment,
+)
+
+INTERVAL_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+DIVISIBILITIES = (2, 4, 8)
+
+
+def run_both():
+    base = {name: params for name, (params, _) in base_constrained_parameters(BENCH_SCALE).items()}
+    sweep = shared_sweep(BENCH_SCALE)
+    interval = section56_interval_experiment(
+        scale=BENCH_SCALE,
+        interval_factors=INTERVAL_FACTORS,
+        sweep=sweep,
+        base_parameters=base,
+    )
+    divisibility = section56_divisibility_experiment(
+        scale=BENCH_SCALE,
+        divisibilities=DIVISIBILITIES,
+        sweep=sweep,
+        base_parameters=base,
+    )
+    return interval, divisibility
+
+
+def test_section56_interval_and_divisibility(benchmark):
+    interval, divisibility = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [
+            format_sensitivity(
+                interval, title="Section 5.6: sense-interval length (0.25x to 4x of base)"
+            ),
+            format_sensitivity(divisibility, title="Section 5.6: divisibility 2 / 4 / 8"),
+        ]
+    )
+    write_result("sec56_interval_divisibility", text)
+    print("\n" + text)
+
+    # Interval robustness: for most benchmarks the spread of energy-delay
+    # over the 16x range stays small.
+    robust = 0
+    for name, variations in interval.rows.items():
+        values = [variations[label].relative_energy_delay for label in interval.variations]
+        if max(values) - min(values) < 0.15:
+            robust += 1
+    assert robust >= 10
+
+    # Divisibility: coarser resizing steps do not improve the suite's
+    # energy-delay (Section 5.6: the coarser granularity prevents the cache
+    # from settling near the required size).  Individual benchmarks may
+    # move either way by a small amount, so the check is on the mean plus a
+    # loose per-benchmark bound.
+    mean_by_label = {
+        label: sum(variations[label].relative_energy_delay for variations in divisibility.rows.values())
+        / len(divisibility.rows)
+        for label in divisibility.variations
+    }
+    for label in ("div4", "div8"):
+        assert mean_by_label[label] >= mean_by_label["div2"] - 0.02
+    for name, variations in divisibility.rows.items():
+        base_value = variations["div2"].relative_energy_delay
+        for label in ("div4", "div8"):
+            assert variations[label].relative_energy_delay >= base_value - 0.2, (name, label)

@@ -1,0 +1,43 @@
+"""Experiment E1 — Table 2: gated-Vdd circuit trade-offs.
+
+Regenerates the energy / read-time / area trade-off table for the base
+high-Vt cell, the base low-Vt cell, and the wide NMOS dual-Vt gated-Vdd
+cell, and checks the headline numbers the paper reports:
+
+* lowering Vt from 0.4 V to 0.2 V halves the read time but raises leakage
+  by more than 30x,
+* gated-Vdd in standby eliminates ~97% of the low-Vt leakage,
+* the read-time penalty is ~8% and the area overhead ~5%.
+"""
+
+from __future__ import annotations
+
+from _shared import write_result
+
+from repro.analysis.report import format_table2
+from repro.simulation.experiments import table2_experiment
+
+
+def test_table2_gated_vdd(benchmark):
+    summary = benchmark.pedantic(table2_experiment, rounds=1, iterations=1)
+    text = format_table2(summary)
+    write_result("table2_gated_vdd", text)
+    print("\n" + text)
+
+    high_vt = summary["base_high_vt"]
+    low_vt = summary["base_low_vt"]
+    gated = summary["nmos_gated_vdd"]
+
+    # Paper row: relative read time 2.22 / 1.00 / 1.08.
+    assert 1.9 < high_vt["relative_read_time"] < 2.6
+    assert low_vt["relative_read_time"] == 1.0
+    assert 1.0 < gated["relative_read_time"] < 1.2
+
+    # Paper row: active leakage 50 / 1740 / 1740 (x1e-9 nJ).
+    leakage_ratio = low_vt["active_leakage_energy_nj"] / high_vt["active_leakage_energy_nj"]
+    assert leakage_ratio > 30
+    assert gated["active_leakage_energy_nj"] == low_vt["active_leakage_energy_nj"]
+
+    # Paper rows: 97% savings, 5% area increase.
+    assert gated["energy_savings_percent"] > 95.0
+    assert 3.0 < gated["area_increase_percent"] < 8.0

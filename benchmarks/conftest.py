@@ -1,0 +1,15 @@
+"""Benchmark-harness conftest: make the shared helpers importable.
+
+The bench modules import ``_shared`` directly; adding this directory to
+``sys.path`` keeps that working regardless of pytest's import mode or the
+directory the suite is launched from.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_BENCH_DIR = str(Path(__file__).parent)
+if _BENCH_DIR not in sys.path:
+    sys.path.insert(0, _BENCH_DIR)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Tune the DRI i-cache's miss-bound and size-bound for one benchmark.
+
+The paper picks each benchmark's miss-bound and size-bound empirically by
+searching the combination space for the best energy-delay product, under
+two regimes: performance-constrained (slowdown within 4%) and
+performance-unconstrained (Section 5.3).  This example reproduces that
+search for a single benchmark and prints the whole grid, so you can see:
+
+* the aggressive corner (large miss-bound, small size-bound) shrinks the
+  cache furthest but can blow past the 4% slowdown budget;
+* the conservative corner barely saves anything;
+* the constrained winner sits on the boundary — the most aggressive
+  configuration that still hides the extra misses.
+
+Run with (any of the fifteen benchmark names works)::
+
+    python examples/parameter_tuning.py gcc
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.report import format_table
+from repro.config.parameters import DRIParameters
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+
+MISS_BOUNDS = (10, 30, 80, 200)
+SIZE_BOUNDS = (1024, 4096, 16384, 65536)
+SENSE_INTERVAL = 10_000
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    simulator = Simulator(trace_instructions=400_000, seed=2001)
+    sweep = ParameterSweep(
+        simulator, base_parameters=DRIParameters(sense_interval=SENSE_INTERVAL)
+    )
+
+    print(f"searching miss-bound x size-bound grid for {benchmark!r}\n")
+    grid = sweep.grid(benchmark, miss_bounds=MISS_BOUNDS, size_bounds=SIZE_BOUNDS)
+
+    rows = []
+    for point in grid.points:
+        summary = point.comparison.summary()
+        marker = "" if summary["meets_constraint"] else "  (>4% slowdown)"
+        rows.append(
+            [
+                point.parameters.miss_bound,
+                f"{point.parameters.size_bound // 1024}K",
+                f"{summary['relative_energy_delay']:.2f}",
+                f"{summary['average_size_fraction']:.2f}",
+                f"{summary['slowdown_percent']:.1f}%{marker}",
+            ]
+        )
+    print(
+        format_table(
+            ["miss-bound", "size-bound", "rel. energy-delay", "avg size", "slowdown"], rows
+        )
+    )
+
+    constrained = grid.best(constrained=True)
+    unconstrained = grid.best(constrained=False)
+    assert constrained is not None and unconstrained is not None
+    print("\nperformance-constrained best (slowdown <= 4%):")
+    print(
+        f"  miss-bound={constrained.parameters.miss_bound}, "
+        f"size-bound={constrained.parameters.size_bound // 1024}K -> "
+        f"energy-delay {constrained.energy_delay:.2f}, "
+        f"slowdown {constrained.comparison.slowdown:.1%}"
+    )
+    print("performance-unconstrained best:")
+    print(
+        f"  miss-bound={unconstrained.parameters.miss_bound}, "
+        f"size-bound={unconstrained.parameters.size_bound // 1024}K -> "
+        f"energy-delay {unconstrained.energy_delay:.2f}, "
+        f"slowdown {unconstrained.comparison.slowdown:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark on a DRI i-cache and print the trade-off.
+
+This example walks through the library's whole pipeline in a minute of
+wall-clock time:
+
+1. pick a benchmark model (``hydro2d`` — a phased workload with a large
+   initialisation phase and small compute loops),
+2. run it on the conventional 64K direct-mapped i-cache baseline,
+3. run it on a DRI i-cache with hand-picked adaptivity parameters,
+4. apply the paper's Section 5.2 energy accounting and print the
+   energy-delay product, average cache size, and slowdown relative to the
+   conventional cache.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import DRIParameters
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+
+BENCHMARK = "hydro2d"
+
+
+def main() -> None:
+    # A simulator generating a 400K-instruction synthetic trace per benchmark.
+    simulator = Simulator(trace_instructions=400_000, seed=2001)
+    sweep = ParameterSweep(simulator)
+
+    # DRI adaptivity parameters: resize every 10K instructions, tolerate up
+    # to 60 misses per interval before upsizing, never shrink below 2K.
+    parameters = DRIParameters(miss_bound=60, size_bound=2048, sense_interval=10_000)
+
+    conventional = sweep.conventional_baseline(BENCHMARK)
+    point = sweep.evaluate(BENCHMARK, parameters)
+    dri = point.simulation
+    comparison = point.comparison
+
+    print(f"benchmark            : {BENCHMARK}")
+    print(f"instructions         : {dri.instructions:,}")
+    print()
+    print("conventional 64K direct-mapped i-cache")
+    print(f"  cycles             : {conventional.cycles:,}")
+    print(f"  miss rate          : {conventional.miss_rate_per_instruction:.3%} of instructions")
+    print()
+    print("DRI i-cache")
+    print(f"  cycles             : {dri.cycles:,}  ({comparison.slowdown:+.1%} vs conventional)")
+    print(f"  miss rate          : {dri.miss_rate_per_instruction:.3%} of instructions")
+    print(f"  average size       : {comparison.average_size_fraction:.1%} of 64K")
+    print(f"  resizing tag bits  : {dri.resizing_tag_bits}")
+    assert dri.dri_stats is not None
+    print(f"  resizings          : {dri.dri_stats.resizings} "
+          f"({dri.dri_stats.downsizings} down / {dri.dri_stats.upsizings} up)")
+    print()
+    print("Section 5.2 energy accounting (relative to the conventional i-cache)")
+    print(f"  leakage component  : {comparison.leakage_energy_delay_component:.2f}")
+    print(f"  dynamic component  : {comparison.dynamic_energy_delay_component:.2f}")
+    print(f"  energy-delay       : {comparison.relative_energy_delay:.2f}  "
+          f"(a {comparison.energy_delay_reduction:.0%} reduction)")
+
+    sizes = dri.dri_stats.size_time_fractions()
+    print()
+    print("time spent at each cache size:")
+    for size, fraction in sizes.items():
+        bar = "#" * max(1, int(round(fraction * 40)))
+        print(f"  {size // 1024:>3}K  {fraction:6.1%}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment this reproduction targets may not have the ``wheel``
+package available (offline installs), in which case PEP 517 editable
+installs fail with ``invalid command 'bdist_wheel'``.  Keeping a classic
+``setup.py`` lets ``pip install -e .`` fall back to the legacy editable
+path; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Reporting helpers that format experiment results like the paper's tables/figures."""
+
+from repro.analysis.classify import ClassificationEvidence, classify, summarize_trajectory
+from repro.analysis.report import (
+    benchmark_class_label,
+    format_figure3,
+    format_sensitivity,
+    format_table,
+    format_table2,
+    rows_as_dicts,
+)
+
+__all__ = [
+    "ClassificationEvidence",
+    "classify",
+    "summarize_trajectory",
+    "benchmark_class_label",
+    "format_figure3",
+    "format_sensitivity",
+    "format_table",
+    "format_table2",
+    "rows_as_dicts",
+]

@@ -1,0 +1,93 @@
+"""Automatic benchmark classification from DRI run statistics.
+
+Section 5.3 of the paper sorts the benchmarks into three classes by how
+their i-cache requirement behaves over time:
+
+* **class 1** — small requirement throughout: the DRI i-cache sits at the
+  size-bound;
+* **class 2** — large requirement throughout: the cache stays near its
+  full size (little benefit from downsizing);
+* **class 3** — phased requirement: the cache spends meaningful time at
+  both large and small sizes.
+
+The paper assigns the classes by inspection; this module infers them from
+a run's measured size trajectory, so examples and benches can check that
+the synthetic workloads actually behave like the class the registry claims
+they model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dri.stats import DRIStatistics
+from repro.workloads.phases import BenchmarkClass
+
+SMALL_SIZE_FRACTION = 0.25
+"""Sizes at or below this fraction of the full cache count as "small"."""
+
+LARGE_SIZE_FRACTION = 0.75
+"""Sizes at or above this fraction of the full cache count as "large"."""
+
+DOMINANT_TIME_FRACTION = 0.65
+"""A benchmark is single-class if it spends this share of its time there."""
+
+
+@dataclass(frozen=True)
+class ClassificationEvidence:
+    """The size-trajectory summary a classification is based on."""
+
+    time_small: float
+    time_large: float
+    time_medium: float
+    average_size_fraction: float
+    resizings: int
+
+    def __post_init__(self) -> None:
+        total = self.time_small + self.time_large + self.time_medium
+        if not 0.99 <= total <= 1.01:
+            raise ValueError("time fractions must sum to one")
+
+
+def summarize_trajectory(stats: DRIStatistics) -> ClassificationEvidence:
+    """Summarise how a run's time distributes over small/medium/large sizes."""
+    fractions = stats.size_time_fractions()
+    if not fractions:
+        return ClassificationEvidence(
+            time_small=0.0,
+            time_large=1.0,
+            time_medium=0.0,
+            average_size_fraction=1.0,
+            resizings=0,
+        )
+    full = stats.full_size_bytes
+    time_small = sum(
+        share for size, share in fractions.items() if size / full <= SMALL_SIZE_FRACTION
+    )
+    time_large = sum(
+        share for size, share in fractions.items() if size / full >= LARGE_SIZE_FRACTION
+    )
+    time_medium = max(0.0, 1.0 - time_small - time_large)
+    return ClassificationEvidence(
+        time_small=time_small,
+        time_large=time_large,
+        time_medium=time_medium,
+        average_size_fraction=stats.average_size_fraction,
+        resizings=stats.resizings,
+    )
+
+
+def classify(stats: DRIStatistics) -> BenchmarkClass:
+    """Infer the paper's benchmark class from a DRI run's size trajectory.
+
+    The rules mirror Section 5.3's descriptions: mostly-small time means
+    class 1, mostly-large time means class 2, and anything that splits its
+    time (or lives at intermediate sizes) behaves like a phased, class 3
+    benchmark.
+    """
+    evidence = summarize_trajectory(stats)
+    if evidence.time_small >= DOMINANT_TIME_FRACTION:
+        return BenchmarkClass.SMALL_FOOTPRINT
+    if evidence.time_large >= DOMINANT_TIME_FRACTION:
+        return BenchmarkClass.LARGE_FOOTPRINT
+    return BenchmarkClass.PHASED

@@ -1,0 +1,154 @@
+"""Text reports mirroring the paper's tables and figures.
+
+The benchmark harness (``benchmarks/``) and the examples use these
+formatters to print the same rows/series the paper reports: the Table 2
+circuit trade-offs, the Figure 3 stacked energy-delay bars and average
+sizes, and the Figure 4-6 sensitivity series.  Everything is plain
+fixed-width text so the output reads like the paper's tables in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.simulation.experiments import BenchmarkRow, Figure3Result, SensitivityResult
+from repro.workloads.phases import BenchmarkClass
+from repro.workloads.spec95 import get_benchmark
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format a fixed-width text table."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [_format_row(headers, widths)]
+    lines.append(_format_row(["-" * width for width in widths], widths))
+    lines.extend(_format_row(row, widths) for row in materialised)
+    return "\n".join(lines)
+
+
+def benchmark_class_label(benchmark: str) -> str:
+    """The paper's class label ("Class 1/2/3") for a benchmark."""
+    spec = get_benchmark(benchmark)
+    return {
+        BenchmarkClass.SMALL_FOOTPRINT: "Class 1",
+        BenchmarkClass.LARGE_FOOTPRINT: "Class 2",
+        BenchmarkClass.PHASED: "Class 3",
+    }[spec.benchmark_class]
+
+
+# ----------------------------------------------------------------------
+# Table 2
+# ----------------------------------------------------------------------
+def format_table2(summary: Dict[str, Dict[str, float]]) -> str:
+    """Format the Table 2 reproduction."""
+    columns = ["base_high_vt", "base_low_vt", "nmos_gated_vdd"]
+    headers = ["Quantity"] + columns
+    rows = []
+    metric_labels = [
+        ("sram_vt", "SRAM Vt (V)", "{:.2f}"),
+        ("relative_read_time", "Relative read time", "{:.2f}"),
+        ("active_leakage_energy_nj", "Active leakage (nJ/cycle)", "{:.3e}"),
+        ("standby_leakage_energy_nj", "Standby leakage (nJ/cycle)", "{:.3e}"),
+        ("energy_savings_percent", "Energy savings (%)", "{:.1f}"),
+        ("area_increase_percent", "Area increase (%)", "{:.1f}"),
+    ]
+    for key, label, fmt in metric_labels:
+        row = [label]
+        for column in columns:
+            value = summary[column].get(key, float("nan"))
+            row.append("n/a" if value != value else fmt.format(value))
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+def format_figure3(result: Figure3Result) -> str:
+    """Format both panels of Figure 3 (energy-delay and average size)."""
+    headers = [
+        "Benchmark",
+        "Class",
+        "E*D (constr.)",
+        "leak/dyn",
+        "Avg size (constr.)",
+        "Slowdown %",
+        "E*D (unconstr.)",
+        "Avg size (unconstr.)",
+        "Slowdown % (unc.)",
+    ]
+    rows = []
+    for constrained in result.constrained:
+        name = constrained.benchmark
+        try:
+            unconstrained = result.row(name, constrained=False)
+        except KeyError:
+            unconstrained = constrained
+        rows.append(
+            [
+                name,
+                benchmark_class_label(name),
+                f"{constrained.relative_energy_delay:.2f}",
+                f"{constrained.leakage_component:.2f}/{constrained.dynamic_component:.2f}",
+                f"{constrained.average_size_fraction:.2f}",
+                f"{constrained.slowdown_percent:.1f}",
+                f"{unconstrained.relative_energy_delay:.2f}",
+                f"{unconstrained.average_size_fraction:.2f}",
+                f"{unconstrained.slowdown_percent:.1f}",
+            ]
+        )
+    summary = (
+        f"\nMean energy-delay reduction (constrained): "
+        f"{result.mean_energy_delay_reduction(True) * 100:.0f}%"
+        f"\nMean energy-delay reduction (unconstrained): "
+        f"{result.mean_energy_delay_reduction(False) * 100:.0f}%"
+        f"\nMean cache-size reduction (constrained): "
+        f"{result.mean_size_reduction(True) * 100:.0f}%"
+    )
+    return format_table(headers, rows) + summary
+
+
+# ----------------------------------------------------------------------
+# Figures 4, 5, 6 and Section 5.6
+# ----------------------------------------------------------------------
+def format_sensitivity(result: SensitivityResult, title: str) -> str:
+    """Format a sensitivity experiment: one column group per variation."""
+    headers = ["Benchmark"]
+    for variation in result.variations:
+        headers.extend([f"E*D {variation}", f"slow% {variation}"])
+    rows = []
+    for benchmark, variations in result.rows.items():
+        row: List[str] = [benchmark]
+        for variation in result.variations:
+            entry = variations.get(variation)
+            if entry is None:
+                row.extend(["n/a", "n/a"])
+            else:
+                row.append(f"{entry.relative_energy_delay:.2f}")
+                row.append(f"{entry.slowdown_percent:.1f}")
+        rows.append(row)
+    return f"{title}\n" + format_table(headers, rows)
+
+
+def rows_as_dicts(rows: Iterable[BenchmarkRow]) -> List[dict]:
+    """Convert benchmark rows to plain dictionaries (JSON-friendly)."""
+    return [
+        {
+            "benchmark": row.benchmark,
+            "relative_energy_delay": row.relative_energy_delay,
+            "leakage_component": row.leakage_component,
+            "dynamic_component": row.dynamic_component,
+            "average_size_fraction": row.average_size_fraction,
+            "slowdown_percent": row.slowdown_percent,
+            "miss_rate": row.miss_rate,
+        }
+        for row in rows
+    ]

@@ -1,0 +1,45 @@
+"""Circuit-level substrate: technology scaling, transistor leakage, SRAM
+cells, gated-Vdd supply gating, and a CACTI-style cache energy model."""
+
+from repro.circuit.cacti import ArrayOrganization, CactiModel, organize_array
+from repro.circuit.gated_vdd import (
+    NMOS_SINGLE_VT,
+    PMOS_HEADER,
+    WIDE_NMOS_DUAL_VT,
+    GatedSRAMCell,
+    GatedVddConfig,
+    GatingStyle,
+    table2_summary,
+)
+from repro.circuit.sram import SRAMArray, SRAMCell
+from repro.circuit.technology import (
+    DEFAULT_TECHNOLOGY,
+    TechnologyNode,
+    itrs_roadmap,
+    leakage_energy_growth,
+    thermal_voltage,
+)
+from repro.circuit.transistor import DeviceType, Transistor, stacked_leakage_na
+
+__all__ = [
+    "ArrayOrganization",
+    "CactiModel",
+    "organize_array",
+    "NMOS_SINGLE_VT",
+    "PMOS_HEADER",
+    "WIDE_NMOS_DUAL_VT",
+    "GatedSRAMCell",
+    "GatedVddConfig",
+    "GatingStyle",
+    "table2_summary",
+    "SRAMArray",
+    "SRAMCell",
+    "DEFAULT_TECHNOLOGY",
+    "TechnologyNode",
+    "itrs_roadmap",
+    "leakage_energy_growth",
+    "thermal_voltage",
+    "DeviceType",
+    "Transistor",
+    "stacked_leakage_na",
+]

@@ -1,0 +1,303 @@
+"""Gated-Vdd supply gating for SRAM (Section 3 / Table 2 of the paper).
+
+Gated-Vdd inserts an extra "sleep" transistor in the leakage path between
+the SRAM cells and the supply rails.  When the sleep transistor is off, it
+stacks in series with the cells' off transistors; the stacking effect
+(self reverse-biasing of series off devices) cuts the leakage by orders of
+magnitude.  When it is on, the cells operate normally at low Vt, paying
+only a small read-time penalty for the series resistance.
+
+The paper (and the companion ISLPED'00 paper [19]) evaluates several
+implementations; the architectural results use the best one, a **wide NMOS
+footer with dual-Vt and a charge pump**:
+
+* NMOS footer between the cells' virtual ground and real ground,
+* the footer uses the high threshold voltage (dual-Vt) so that even its
+  own subthreshold leakage is tiny,
+* the footer gate is boosted above Vdd by a charge pump in active mode so
+  its series resistance barely affects the read time,
+* one footer is shared by all the cells of a cache line, with the
+  transistor drawn as rows of parallel devices along the line to minimise
+  the area overhead (~5%).
+
+This module reproduces the Table 2 trade-off rows for that configuration
+and exposes the knobs (sharing, width, polarity, dual-Vt, charge pump) so
+the alternative configurations can be explored.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+from repro.circuit.sram import CELL_AREA_F2, SRAMCell
+from repro.circuit.technology import DEFAULT_TECHNOLOGY, TechnologyNode
+from repro.circuit.transistor import DeviceType, Transistor
+
+TRANSIENT_MITIGATION_FACTOR = 0.33
+"""Fraction of the DC series-resistance penalty that actually shows up in
+the read time.  The read is a small-swing transient (the paper's criterion
+is a 25% bitline swing) largely absorbed by the virtual-rail capacitance,
+so the observed penalty is well below the DC resistance ratio; this factor
+calibrates the model to the Hspice-measured 1.08x of Table 2."""
+
+FOOTER_LAYOUT_EFFICIENCY = 0.35
+"""Area efficiency of drawing the shared footer as rows of parallel
+transistors along the cache line (Section 4): the footer reuses well and
+diffusion area, so its drawn overhead is a fraction of a naive isolated
+transistor of the same width."""
+
+MIN_WIDTH_AREA_F2 = 4.0
+"""Drawn area of one minimum-width transistor finger, in F^2."""
+
+
+class GatingStyle(Enum):
+    """Where the sleep transistor sits."""
+
+    NMOS_FOOTER = "nmos"
+    PMOS_HEADER = "pmos"
+
+
+@dataclass(frozen=True)
+class GatedVddConfig:
+    """Configuration of a gated-Vdd implementation.
+
+    Attributes
+    ----------
+    style:
+        NMOS footer (between cells and ground) or PMOS header (between Vdd
+        and cells).
+    dual_vt:
+        If true the sleep transistor uses the high threshold voltage while
+        the cells stay at low Vt — the paper's preferred configuration.
+    charge_pump:
+        If true the sleep transistor's gate is overdriven by
+        ``charge_pump_boost`` volts above the rail in active mode.
+    charge_pump_boost:
+        Gate boost in volts.
+    width_per_cell:
+        Sleep-transistor width allocated per SRAM cell, in minimum widths.
+        The total footer width for a line is ``width_per_cell * cells``.
+    cells_per_gate:
+        Number of SRAM cells sharing one sleep transistor (one cache line's
+        data bits by default: 32 bytes = 256 cells).
+    """
+
+    style: GatingStyle = GatingStyle.NMOS_FOOTER
+    dual_vt: bool = True
+    charge_pump: bool = True
+    charge_pump_boost: float = 0.4
+    width_per_cell: float = 4.4
+    cells_per_gate: int = 256
+    technology: TechnologyNode = DEFAULT_TECHNOLOGY
+
+    def __post_init__(self) -> None:
+        if self.width_per_cell <= 0:
+            raise ValueError("width_per_cell must be positive")
+        if self.cells_per_gate < 1:
+            raise ValueError("cells_per_gate must be at least 1")
+        if self.charge_pump_boost < 0:
+            raise ValueError("charge pump boost cannot be negative")
+
+    @property
+    def gate_vt(self) -> float:
+        """Threshold voltage of the sleep transistor."""
+        return self.technology.high_vt if self.dual_vt else self.technology.nominal_vt
+
+    @property
+    def device_type(self) -> DeviceType:
+        return DeviceType.NMOS if self.style is GatingStyle.NMOS_FOOTER else DeviceType.PMOS
+
+    def sleep_transistor(self) -> Transistor:
+        """The shared sleep transistor (full width for ``cells_per_gate`` cells)."""
+        return Transistor(
+            self.device_type,
+            self.gate_vt,
+            self.width_per_cell * self.cells_per_gate,
+            self.technology,
+        )
+
+
+WIDE_NMOS_DUAL_VT = GatedVddConfig()
+"""The paper's preferred configuration: wide NMOS footer, dual-Vt, charge pump."""
+
+PMOS_HEADER = GatedVddConfig(style=GatingStyle.PMOS_HEADER, charge_pump=False, width_per_cell=6.0)
+"""A PMOS header alternative (larger area, no charge pump)."""
+
+NMOS_SINGLE_VT = GatedVddConfig(dual_vt=False)
+"""NMOS footer that keeps the cell's low Vt (weaker standby savings)."""
+
+
+@dataclass(frozen=True)
+class GatedSRAMCell:
+    """An SRAM cell behind a (possibly shared) gated-Vdd sleep transistor."""
+
+    cell: SRAMCell = field(default_factory=SRAMCell)
+    gating: GatedVddConfig = WIDE_NMOS_DUAL_VT
+
+    def __post_init__(self) -> None:
+        if self.cell.technology is not self.gating.technology:
+            if self.cell.technology != self.gating.technology:
+                raise ValueError("cell and gating must use the same technology node")
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+    def active_leakage_energy_nj(self, cycle_time_ns: float = 1.0) -> float:
+        """Leakage energy per cycle with the sleep transistor on.
+
+        With the sleep transistor conducting, the cell leaks essentially as
+        an ungated cell does (the virtual rail sits within millivolts of
+        the real rail), so the active row of Table 2 matches the base
+        low-Vt cell.
+        """
+        return self.cell.leakage_energy_per_cycle_nj(cycle_time_ns)
+
+    def standby_leakage_current_na(self) -> float:
+        """Per-cell leakage current with the sleep transistor off, in nA.
+
+        The stacked series path is limited by whichever side conducts
+        less.  The virtual rail floats to the voltage where the cell-side
+        leakage (which collapses exponentially as the rail rises, because
+        the cells' off NMOS devices become reverse-biased) equals the sleep
+        transistor's leakage (which saturates once it has a few hundred
+        millivolts across it).  We solve for that equilibrium by bisection
+        over the virtual-rail voltage.
+        """
+        tech = self.gating.technology
+        vdd = tech.supply_voltage
+        cells = self.gating.cells_per_gate
+        sleeper = self.gating.sleep_transistor()
+
+        def cell_side_current(v_rail: float) -> float:
+            # Every leaking NMOS path in the cell has its source lifted to
+            # the virtual rail: Vgs becomes -v_rail and Vds shrinks by v_rail.
+            pull_down = self.cell.pull_down.subthreshold_current_na(
+                vgs=-v_rail, vds=max(vdd - v_rail, 0.0)
+            )
+            access = self.cell.access.subthreshold_current_na(
+                vgs=-v_rail, vds=max(vdd - v_rail, 0.0)
+            )
+            # The PMOS pull-up path also terminates at the virtual rail.
+            pull_up = self.cell.pull_up.subthreshold_current_na(
+                vgs=0.0, vds=max(vdd - v_rail, 0.0)
+            )
+            return cells * (pull_down + access + pull_up)
+
+        def sleeper_current(v_rail: float) -> float:
+            return sleeper.subthreshold_current_na(vgs=0.0, vds=v_rail)
+
+        low, high = 0.0, vdd
+        for _ in range(80):
+            mid = (low + high) / 2.0
+            if cell_side_current(mid) > sleeper_current(mid):
+                low = mid
+            else:
+                high = mid
+        v_rail = (low + high) / 2.0
+        return sleeper_current(v_rail) / cells
+
+    def standby_leakage_energy_nj(self, cycle_time_ns: float = 1.0) -> float:
+        """Per-cell leakage energy per cycle in standby mode, in nJ."""
+        if cycle_time_ns <= 0:
+            raise ValueError("cycle time must be positive")
+        power_nw = self.standby_leakage_current_na() * self.gating.technology.supply_voltage
+        return power_nw * cycle_time_ns * 1e-9
+
+    def standby_savings_fraction(self) -> float:
+        """Fraction of the active leakage eliminated in standby (Table 2: ~0.97)."""
+        active = self.active_leakage_energy_nj()
+        standby = self.standby_leakage_energy_nj()
+        if active <= 0:
+            return 0.0
+        return 1.0 - standby / active
+
+    # ------------------------------------------------------------------
+    # Read time
+    # ------------------------------------------------------------------
+    def relative_read_time(self) -> float:
+        """Read time relative to an ungated low-Vt cell (Table 2: ~1.08).
+
+        The sleep transistor adds series resistance to the read-discharge
+        path.  Its effective overdrive includes the charge-pump boost in
+        active mode; the DC resistance ratio is then scaled by
+        :data:`TRANSIENT_MITIGATION_FACTOR` because the small-swing read
+        transient is partially absorbed by the virtual-rail capacitance.
+        """
+        tech = self.gating.technology
+        alpha = tech.velocity_saturation_alpha
+        # Per-cell share of the sleep transistor during a full-line read.
+        sleeper_width = self.gating.width_per_cell
+        gate_drive = tech.supply_voltage
+        if self.gating.charge_pump:
+            gate_drive += self.gating.charge_pump_boost
+        sleeper_overdrive = gate_drive - self.gating.gate_vt
+        if sleeper_overdrive <= 0:
+            return math.inf
+        cell_overdrive = tech.supply_voltage - self.cell.vt
+        # Resistances proportional to 1 / (W * overdrive^alpha).
+        from repro.circuit.sram import PULL_DOWN_WIDTH_RATIO
+
+        r_cell = 1.0 / (PULL_DOWN_WIDTH_RATIO * cell_overdrive ** alpha)
+        r_sleeper = 1.0 / (sleeper_width * sleeper_overdrive ** alpha)
+        penalty = (r_sleeper / r_cell) * TRANSIENT_MITIGATION_FACTOR
+        base = self.cell.relative_read_time()
+        return base * (1.0 + penalty)
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+    def area_overhead_fraction(self) -> float:
+        """Array area increase from the sleep transistor (Table 2: ~0.05).
+
+        The footer is drawn as rows of parallel minimum-length fingers
+        along the cache line; sharing well/diffusion area gives the layout
+        efficiency factor.
+        """
+        footer_area_f2 = (
+            self.gating.width_per_cell * MIN_WIDTH_AREA_F2 * FOOTER_LAYOUT_EFFICIENCY
+        )
+        return footer_area_f2 / CELL_AREA_F2
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def table2_row(self, cycle_time_ns: float = 1.0) -> Dict[str, float]:
+        """The Table 2 column for this configuration, as a dictionary."""
+        return {
+            "gated_vdd_vt": self.gating.gate_vt,
+            "sram_vt": self.cell.vt,
+            "relative_read_time": self.relative_read_time(),
+            "active_leakage_energy_nj": self.active_leakage_energy_nj(cycle_time_ns),
+            "standby_leakage_energy_nj": self.standby_leakage_energy_nj(cycle_time_ns),
+            "energy_savings_percent": self.standby_savings_fraction() * 100.0,
+            "area_increase_percent": self.area_overhead_fraction() * 100.0,
+        }
+
+
+def table2_summary(technology: TechnologyNode = DEFAULT_TECHNOLOGY) -> Dict[str, Dict[str, float]]:
+    """Reproduce Table 2: base high-Vt, base low-Vt, and NMOS gated-Vdd columns."""
+    high_vt_cell = SRAMCell(vt=technology.high_vt, technology=technology)
+    low_vt_cell = SRAMCell(vt=technology.nominal_vt, technology=technology)
+    gated = GatedSRAMCell(cell=low_vt_cell, gating=WIDE_NMOS_DUAL_VT)
+    return {
+        "base_high_vt": {
+            "sram_vt": technology.high_vt,
+            "relative_read_time": high_vt_cell.relative_read_time(low_vt_cell),
+            "active_leakage_energy_nj": high_vt_cell.leakage_energy_per_cycle_nj(),
+            "standby_leakage_energy_nj": float("nan"),
+            "energy_savings_percent": float("nan"),
+            "area_increase_percent": 0.0,
+        },
+        "base_low_vt": {
+            "sram_vt": technology.nominal_vt,
+            "relative_read_time": 1.0,
+            "active_leakage_energy_nj": low_vt_cell.leakage_energy_per_cycle_nj(),
+            "standby_leakage_energy_nj": float("nan"),
+            "energy_savings_percent": float("nan"),
+            "area_increase_percent": 0.0,
+        },
+        "nmos_gated_vdd": gated.table2_row(),
+    }

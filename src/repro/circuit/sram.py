@@ -1,0 +1,184 @@
+"""6-T SRAM cell model (Figure 2a of the paper).
+
+The cell is the standard dual-bitline 6-T design: two cross-coupled
+inverters (two NMOS pull-downs, two PMOS pull-ups) plus two NMOS access
+("pass") transistors.  In any stored state exactly three devices leak from
+Vdd (or a precharged bitline) toward ground:
+
+* the off NMOS pull-down of the inverter storing '1',
+* the off PMOS pull-up of the inverter storing '0', and
+* the access transistor connected to the node storing '0' (its bitline is
+  precharged to Vdd, so it sees the full supply across it).
+
+Summing those three subthreshold currents and multiplying by Vdd gives the
+cell's static (leakage) power; over a 1 ns cycle this reproduces the
+"Active Leakage Energy" rows of Table 2: ~1740e-9 nJ for a low-Vt
+(0.2 V) cell and ~50e-9 nJ for a high-Vt (0.4 V) cell at 110 C and 1.0 V.
+
+Dynamic read energy and read time come from a lumped bitline model: the
+read time is the time for the accessed cell's pull-down path to discharge
+the bitline capacitance to 75% of Vdd (the paper's definition), and the
+read energy is the energy to recharge that swing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.technology import DEFAULT_TECHNOLOGY, TechnologyNode
+from repro.circuit.transistor import DeviceType, Transistor
+
+PULL_DOWN_WIDTH_RATIO = 2.0
+"""NMOS pull-down width, in minimum widths (typical 6-T cell ratioing)."""
+
+PULL_UP_WIDTH_RATIO = 1.2
+"""PMOS pull-up width, in minimum widths."""
+
+ACCESS_WIDTH_RATIO = 1.5
+"""NMOS access (pass) transistor width, in minimum widths."""
+
+CELL_AREA_F2 = 120.0
+"""Approximate 6-T cell area in units of F^2 (F = feature size)."""
+
+BITLINE_CAPACITANCE_FF = 250.0
+"""Lumped bitline capacitance seen by one cell during a read, in fF
+(CACTI-style estimate for a 64K array's sub-bitline plus sense input)."""
+
+READ_SWING_FRACTION = 0.25
+"""The paper's read-time criterion: bitline discharged to 75% of Vdd,
+i.e. a swing of 25% of Vdd."""
+
+
+@dataclass(frozen=True)
+class SRAMCell:
+    """A 6-T SRAM cell built from :class:`~repro.circuit.transistor.Transistor` devices.
+
+    Parameters
+    ----------
+    vt:
+        Threshold voltage of the cell transistors (the paper contrasts a
+        0.4 V "high-Vt" cell and a 0.2 V aggressively scaled "low-Vt" cell).
+    technology:
+        Technology node; defaults to the paper's 0.18 um / 1.0 V / 110 C node.
+    """
+
+    vt: float = DEFAULT_TECHNOLOGY.nominal_vt
+    technology: TechnologyNode = DEFAULT_TECHNOLOGY
+
+    @property
+    def pull_down(self) -> Transistor:
+        """One of the two NMOS pull-down transistors."""
+        return Transistor(DeviceType.NMOS, self.vt, PULL_DOWN_WIDTH_RATIO, self.technology)
+
+    @property
+    def pull_up(self) -> Transistor:
+        """One of the two PMOS pull-up transistors."""
+        return Transistor(DeviceType.PMOS, self.vt, PULL_UP_WIDTH_RATIO, self.technology)
+
+    @property
+    def access(self) -> Transistor:
+        """One of the two NMOS access (pass) transistors."""
+        return Transistor(DeviceType.NMOS, self.vt, ACCESS_WIDTH_RATIO, self.technology)
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+    def leakage_current_na(self) -> float:
+        """Total subthreshold leakage current of the cell in nA.
+
+        Three devices leak regardless of the stored value (see module
+        docstring); the cell is symmetric so the stored bit does not matter.
+        """
+        return (
+            self.pull_down.subthreshold_current_na()
+            + self.pull_up.subthreshold_current_na()
+            + self.access.subthreshold_current_na()
+        )
+
+    def leakage_power_nw(self) -> float:
+        """Static power of the cell in nW."""
+        return self.leakage_current_na() * self.technology.supply_voltage
+
+    def leakage_energy_per_cycle_nj(self, cycle_time_ns: float = 1.0) -> float:
+        """Leakage energy per clock cycle in nJ (Table 2 'Active Leakage Energy')."""
+        if cycle_time_ns <= 0:
+            raise ValueError("cycle time must be positive")
+        return self.leakage_power_nw() * cycle_time_ns * 1e-9
+
+    # ------------------------------------------------------------------
+    # Read timing and energy
+    # ------------------------------------------------------------------
+    def read_current_ua(self) -> float:
+        """Read (discharge) current through the access + pull-down path, in uA.
+
+        The series path conducts roughly the current of the weaker of the
+        two devices; the harmonic combination captures the series limit.
+        """
+        i_access = self.access.on_current_ua()
+        i_pull_down = self.pull_down.on_current_ua()
+        if i_access <= 0 or i_pull_down <= 0:
+            return 0.0
+        return 1.0 / (1.0 / i_access + 1.0 / i_pull_down)
+
+    def read_time_ns(self, bitline_capacitance_ff: float = BITLINE_CAPACITANCE_FF) -> float:
+        """Absolute read time in ns: discharge the bitline by 25% of Vdd."""
+        if bitline_capacitance_ff <= 0:
+            raise ValueError("bitline capacitance must be positive")
+        swing_v = READ_SWING_FRACTION * self.technology.supply_voltage
+        current_ua = self.read_current_ua()
+        if current_ua <= 0:
+            raise ValueError("cell has no read current at this Vt/Vdd")
+        # t = C * dV / I ; fF * V / uA = ns * 1e-3
+        return bitline_capacitance_ff * swing_v / current_ua * 1e-3
+
+    def relative_read_time(self, reference: "SRAMCell | None" = None) -> float:
+        """Read time relative to a reference cell (default: the low-Vt cell).
+
+        Reproduces the Table 2 'Relative Read Time' row: a 0.4 V cell reads
+        ~2.2x slower than a 0.2 V cell at 1.0 V supply.
+        """
+        if reference is None:
+            reference = SRAMCell(vt=self.technology.nominal_vt, technology=self.technology)
+        return self.read_time_ns() / reference.read_time_ns()
+
+    def dynamic_read_energy_nj(self, bitline_capacitance_ff: float = BITLINE_CAPACITANCE_FF) -> float:
+        """Energy to restore one bitline's read swing, in nJ."""
+        swing_v = READ_SWING_FRACTION * self.technology.supply_voltage
+        # E = C * Vswing * Vdd ; fF * V * V = fJ = 1e-6 nJ
+        return bitline_capacitance_ff * swing_v * self.technology.supply_voltage * 1e-6
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def area_um2(self) -> float:
+        """Cell area in um^2 (CELL_AREA_F2 times the square of the feature size)."""
+        feature = self.technology.feature_size_um
+        return CELL_AREA_F2 * feature * feature
+
+
+@dataclass(frozen=True)
+class SRAMArray:
+    """A flat array of identical SRAM cells (the data or tag array of a cache)."""
+
+    num_bits: int
+    cell: SRAMCell = field(default_factory=SRAMCell)
+
+    def __post_init__(self) -> None:
+        if self.num_bits < 1:
+            raise ValueError("array must contain at least one bit")
+
+    def leakage_power_nw(self) -> float:
+        """Total static power of the array in nW."""
+        return self.num_bits * self.cell.leakage_power_nw()
+
+    def leakage_energy_per_cycle_nj(self, cycle_time_ns: float = 1.0) -> float:
+        """Total leakage energy per cycle in nJ.
+
+        For a 64 KB data array of low-Vt cells this evaluates to ~0.91 nJ
+        per 1 ns cycle, the constant the paper uses in Section 5.2.
+        """
+        return self.num_bits * self.cell.leakage_energy_per_cycle_nj(cycle_time_ns)
+
+    def area_mm2(self) -> float:
+        """Total array area in mm^2."""
+        return self.num_bits * self.cell.area_um2() * 1e-6

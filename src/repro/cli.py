@@ -1,0 +1,197 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+``python -m repro <command>`` exposes the library's experiment drivers
+without writing any Python:
+
+============  ==========================================================
+Command       What it regenerates
+============  ==========================================================
+``table2``    Table 2 — gated-Vdd circuit trade-offs
+``ratios``    Section 5.2.1 — dynamic-vs-leakage energy ratios
+``figure3``   Figure 3 — base energy-delay and average cache size
+``figure4``   Figure 4 — miss-bound sensitivity
+``figure5``   Figure 5 — size-bound sensitivity
+``figure6``   Figure 6 — 64K 4-way / 64K DM / 128K DM
+``interval``  Section 5.6 — sense-interval robustness
+``run``       One benchmark on one DRI configuration (quick look)
+============  ==========================================================
+
+The architectural commands accept ``--benchmarks`` (comma-separated
+names), ``--instructions`` (trace length), and ``--quick`` (a reduced
+scale for a fast sanity pass).  Output goes to stdout as the same text
+tables the benchmark harness writes under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import format_figure3, format_sensitivity, format_table, format_table2
+from repro.config.parameters import DRIParameters
+from repro.simulation.experiments import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    figure3_experiment,
+    figure4_experiment,
+    figure5_experiment,
+    figure6_experiment,
+    section521_ratios,
+    section56_interval_experiment,
+    table2_experiment,
+)
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+from repro.workloads.spec95 import benchmark_names
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    scale = QUICK_SCALE if args.quick else DEFAULT_SCALE
+    if args.instructions is not None:
+        scale = ExperimentScale(
+            trace_instructions=args.instructions,
+            sense_interval=max(1000, args.instructions // 48),
+            seed=scale.seed,
+            miss_bounds=scale.miss_bounds,
+            size_bounds=scale.size_bounds,
+        )
+    return scale
+
+
+def _benchmarks_from_args(args: argparse.Namespace) -> Optional[List[str]]:
+    if not args.benchmarks:
+        return None
+    names = [name.strip() for name in args.benchmarks.split(",") if name.strip()]
+    known = set(benchmark_names())
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}; known: {', '.join(sorted(known))}")
+    return names
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks",
+        default="",
+        help="comma-separated benchmark names (default: all fifteen)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="dynamic instructions per benchmark trace (default: the experiment scale's)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced quick scale (smaller traces and grids)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the HPCA 2001 DRI i-cache experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table2", help="Table 2: gated-Vdd circuit trade-offs")
+    subparsers.add_parser("ratios", help="Section 5.2.1: energy-ratio analysis")
+
+    for name, help_text in (
+        ("figure3", "Figure 3: base energy-delay and average cache size"),
+        ("figure4", "Figure 4: miss-bound sensitivity"),
+        ("figure5", "Figure 5: size-bound sensitivity"),
+        ("figure6", "Figure 6: conventional cache parameters"),
+        ("interval", "Section 5.6: sense-interval robustness"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_common_arguments(sub)
+
+    run = subparsers.add_parser("run", help="run one benchmark on one DRI configuration")
+    run.add_argument("benchmark", choices=benchmark_names())
+    run.add_argument("--miss-bound", type=int, default=60)
+    run.add_argument("--size-bound", type=int, default=2048)
+    run.add_argument("--sense-interval", type=int, default=10_000)
+    run.add_argument("--instructions", type=int, default=400_000)
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> str:
+    simulator = Simulator(trace_instructions=args.instructions)
+    sweep = ParameterSweep(simulator)
+    parameters = DRIParameters(
+        miss_bound=args.miss_bound,
+        size_bound=args.size_bound,
+        sense_interval=args.sense_interval,
+    )
+    point = sweep.evaluate(args.benchmark, parameters)
+    summary = point.comparison.summary()
+    rows = [[key, f"{value:.4g}" if isinstance(value, float) else str(value)]
+            for key, value in summary.items()]
+    return format_table(["quantity", "value"], rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table2":
+        print(format_table2(table2_experiment()))
+        return 0
+    if args.command == "ratios":
+        ratios = section521_ratios()
+        print(
+            format_table(
+                ["ratio", "value", "paper"],
+                [
+                    ["extra L1 dynamic / L1 leakage", f"{ratios['l1_dynamic_to_leakage']:.3f}", "~0.024"],
+                    ["extra L2 dynamic / L1 leakage", f"{ratios['l2_dynamic_to_leakage']:.3f}", "~0.08"],
+                ],
+            )
+        )
+        return 0
+    if args.command == "run":
+        print(_run_single(args))
+        return 0
+
+    scale = _scale_from_args(args)
+    benchmarks = _benchmarks_from_args(args)
+    if args.command == "figure3":
+        print(format_figure3(figure3_experiment(benchmarks=benchmarks, scale=scale)))
+    elif args.command == "figure4":
+        print(
+            format_sensitivity(
+                figure4_experiment(benchmarks=benchmarks, scale=scale),
+                title="Figure 4: miss-bound at 0.5x / base / 2x",
+            )
+        )
+    elif args.command == "figure5":
+        print(
+            format_sensitivity(
+                figure5_experiment(benchmarks=benchmarks, scale=scale),
+                title="Figure 5: size-bound at 2x / base / 0.5x",
+            )
+        )
+    elif args.command == "figure6":
+        print(
+            format_sensitivity(
+                figure6_experiment(benchmarks=benchmarks, scale=scale),
+                title="Figure 6: 64K 4-way / 64K DM / 128K DM",
+            )
+        )
+    elif args.command == "interval":
+        print(
+            format_sensitivity(
+                section56_interval_experiment(benchmarks=benchmarks, scale=scale),
+                title="Section 5.6: sense-interval length",
+            )
+        )
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

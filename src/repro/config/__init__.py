@@ -1,0 +1,22 @@
+"""Configuration objects: simulated system (Table 1) and DRI parameters."""
+
+from repro.config.parameters import AGGRESSIVE, CONSERVATIVE, DRIParameters, ThrottleConfig
+from repro.config.system import (
+    DEFAULT_SYSTEM,
+    CacheGeometry,
+    MemoryTiming,
+    PipelineConfig,
+    SystemConfig,
+)
+
+__all__ = [
+    "AGGRESSIVE",
+    "CONSERVATIVE",
+    "DRIParameters",
+    "ThrottleConfig",
+    "DEFAULT_SYSTEM",
+    "CacheGeometry",
+    "MemoryTiming",
+    "PipelineConfig",
+    "SystemConfig",
+]

@@ -1,0 +1,126 @@
+"""DRI i-cache adaptivity parameters (Section 2.1 of the paper).
+
+The DRI i-cache is controlled by four parameters:
+
+* ``miss_bound`` — the miss count per sense interval the cache is allowed
+  to approach: below it the cache downsizes (it has miss-rate slack),
+  above it the cache upsizes (fine-grain control).  Larger miss-bounds
+  therefore downsize more aggressively.
+* ``size_bound`` — minimum size, in bytes, the cache may downsize to
+  (coarse-grain control that prevents thrashing).
+* ``sense_interval`` — interval length in dynamic instructions between
+  resizing decisions.
+* ``divisibility`` — factor by which the cache grows/shrinks at each
+  resizing step (2 in the paper's base configuration).
+
+The throttle parameters implement the 3-bit saturating counter that
+suppresses repeated oscillation between two adjacent sizes and the
+ten-interval downsizing hold the paper describes in Section 5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class ThrottleConfig:
+    """Configuration of the oscillation-suppression throttle (Section 2.1)."""
+
+    counter_bits: int = 3
+    hold_intervals: int = 10
+
+    def __post_init__(self) -> None:
+        if self.counter_bits < 1:
+            raise ValueError("throttle counter must have at least one bit")
+        if self.hold_intervals < 0:
+            raise ValueError("hold_intervals cannot be negative")
+
+    @property
+    def saturation_value(self) -> int:
+        """Counter value at which the throttle engages."""
+        return (1 << self.counter_bits) - 1
+
+
+@dataclass(frozen=True)
+class DRIParameters:
+    """Adaptivity parameters of a DRI i-cache.
+
+    The defaults follow the paper's base configuration scaled to the
+    reduced simulation lengths used by this reproduction (the mechanism is
+    controlled by the *ratio* of miss-bound to sense-interval length, so the
+    scaling preserves behaviour; see DESIGN.md section 5).
+    """
+
+    miss_bound: int = 500
+    size_bound: int = 1024
+    sense_interval: int = 50_000
+    divisibility: int = 2
+    throttle: ThrottleConfig = ThrottleConfig()
+
+    def __post_init__(self) -> None:
+        if self.miss_bound < 0:
+            raise ValueError("miss_bound cannot be negative")
+        if not _is_power_of_two(self.size_bound):
+            raise ValueError(f"size_bound must be a power of two, got {self.size_bound}")
+        if self.sense_interval < 1:
+            raise ValueError("sense_interval must be at least one instruction")
+        if self.divisibility < 2 or not _is_power_of_two(self.divisibility):
+            raise ValueError("divisibility must be a power of two >= 2")
+
+    @property
+    def miss_rate_bound(self) -> float:
+        """Miss-bound expressed as a miss rate over one sense interval."""
+        return self.miss_bound / self.sense_interval
+
+    def scaled_miss_bound(self, factor: float) -> "DRIParameters":
+        """Return a copy with the miss-bound scaled by ``factor`` (Figure 4)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        new_bound = max(1, int(round(self.miss_bound * factor)))
+        return replace(self, miss_bound=new_bound)
+
+    def scaled_size_bound(self, factor: float) -> "DRIParameters":
+        """Return a copy with the size-bound scaled by ``factor`` (Figure 5).
+
+        The result is clamped to a power of two, as required by the index
+        masking scheme.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        target = int(self.size_bound * factor)
+        if target < 1:
+            raise ValueError("scaled size_bound would be smaller than one byte")
+        # Round to the nearest power of two (sizes are always powers of two).
+        power = max(0, target.bit_length() - 1)
+        lower = 1 << power
+        upper = lower << 1
+        new_bound = lower if (target - lower) <= (upper - target) else upper
+        return replace(self, size_bound=new_bound)
+
+    def with_interval(self, sense_interval: int) -> "DRIParameters":
+        """Return a copy with a different sense-interval length (Section 5.6).
+
+        The miss-bound is scaled proportionally so the targeted miss *rate*
+        is unchanged, matching how the paper varies interval length.
+        """
+        if sense_interval < 1:
+            raise ValueError("sense_interval must be at least one instruction")
+        scale = sense_interval / self.sense_interval
+        new_miss_bound = max(1, int(round(self.miss_bound * scale)))
+        return replace(self, sense_interval=sense_interval, miss_bound=new_miss_bound)
+
+    def with_divisibility(self, divisibility: int) -> "DRIParameters":
+        """Return a copy with a different divisibility (Section 5.6)."""
+        return replace(self, divisibility=divisibility)
+
+
+AGGRESSIVE = DRIParameters(miss_bound=2000, size_bound=1024)
+"""A configuration that aggressively downsizes (performance-unconstrained style)."""
+
+CONSERVATIVE = DRIParameters(miss_bound=100, size_bound=8 * 1024)
+"""A configuration that downsizes cautiously (performance-constrained style)."""

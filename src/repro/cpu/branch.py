@@ -1,0 +1,167 @@
+"""Two-level hybrid branch predictor (Table 1: "2-level hybrid").
+
+The predictor combines a **gshare** component (global history XOR-ed with
+the branch PC indexing a table of 2-bit counters) with a **bimodal**
+component (PC-indexed 2-bit counters), arbitrated by a **meta/chooser**
+table of 2-bit counters trained toward whichever component was right.
+This is the SimpleScalar "comb" style hybrid configuration the paper's
+simulated core uses.
+
+The predictor is part of the CPU substrate: the out-of-order timing model
+charges the misprediction penalty for every wrong prediction, which is one
+of the components of the non-i-cache base CPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter used by all predictor tables."""
+
+    __slots__ = ("value", "maximum")
+
+    def __init__(self, bits: int = 2, initial: int | None = None) -> None:
+        if bits < 1:
+            raise ValueError("counter must have at least one bit")
+        self.maximum = (1 << bits) - 1
+        self.value = initial if initial is not None else (self.maximum + 1) // 2
+
+    def increment(self) -> None:
+        if self.value < self.maximum:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    @property
+    def taken(self) -> bool:
+        """True if the counter currently predicts taken (upper half)."""
+        return self.value > self.maximum // 2
+
+
+@dataclass
+class PredictorStatistics:
+    """Prediction accuracy counters."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.misprediction_rate
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit counters."""
+
+    def __init__(self, table_size: int = 2048) -> None:
+        if not _is_power_of_two(table_size):
+            raise ValueError("table size must be a power of two")
+        self._mask = table_size - 1
+        self._table = [SaturatingCounter() for _ in range(table_size)]
+
+    def predict(self, pc: int) -> bool:
+        return self._table[(pc >> 2) & self._mask].taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        counter = self._table[(pc >> 2) & self._mask]
+        if taken:
+            counter.increment()
+        else:
+            counter.decrement()
+
+
+class GsharePredictor:
+    """Global-history predictor: history XOR PC indexes a counter table."""
+
+    def __init__(self, table_size: int = 4096, history_bits: int = 12) -> None:
+        if not _is_power_of_two(table_size):
+            raise ValueError("table size must be a power of two")
+        if history_bits < 1:
+            raise ValueError("history must be at least one bit")
+        self._mask = table_size - 1
+        self._table = [SaturatingCounter() for _ in range(table_size)]
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)].taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        counter = self._table[self._index(pc)]
+        if taken:
+            counter.increment()
+        else:
+            counter.decrement()
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+
+
+class HybridPredictor:
+    """The 2-level hybrid predictor: gshare + bimodal + chooser.
+
+    ``predict_and_update`` performs one full prediction/training step and
+    returns whether the prediction was correct, which is what the timing
+    model consumes.
+    """
+
+    def __init__(
+        self,
+        bimodal_size: int = 2048,
+        gshare_size: int = 4096,
+        history_bits: int = 12,
+        chooser_size: int = 4096,
+    ) -> None:
+        if not _is_power_of_two(chooser_size):
+            raise ValueError("chooser size must be a power of two")
+        self.bimodal = BimodalPredictor(bimodal_size)
+        self.gshare = GsharePredictor(gshare_size, history_bits)
+        self._chooser = [SaturatingCounter() for _ in range(chooser_size)]
+        self._chooser_mask = chooser_size - 1
+        self.stats = PredictorStatistics()
+
+    def predict(self, pc: int) -> bool:
+        """Predict without updating (exposed for inspection and testing)."""
+        use_gshare = self._chooser[(pc >> 2) & self._chooser_mask].taken
+        return self.gshare.predict(pc) if use_gshare else self.bimodal.predict(pc)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict the branch at ``pc``, train all tables, return correctness."""
+        chooser = self._chooser[(pc >> 2) & self._chooser_mask]
+        gshare_prediction = self.gshare.predict(pc)
+        bimodal_prediction = self.bimodal.predict(pc)
+        prediction = gshare_prediction if chooser.taken else bimodal_prediction
+
+        # Train the chooser toward whichever component was right (only when
+        # they disagree, as in SimpleScalar's combining predictor).
+        gshare_correct = gshare_prediction == taken
+        bimodal_correct = bimodal_prediction == taken
+        if gshare_correct != bimodal_correct:
+            if gshare_correct:
+                chooser.increment()
+            else:
+                chooser.decrement()
+
+        self.gshare.update(pc, taken)
+        self.bimodal.update(pc, taken)
+
+        correct = prediction == taken
+        self.stats.predictions += 1
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct

@@ -1,0 +1,135 @@
+"""The simulated processor core: fetch path + timing + branch prediction.
+
+:class:`ProcessorCore` is the component the simulator drives: it owns the
+L1 i-cache (conventional or DRI), the shared lower hierarchy, the timing
+model, and optionally a branch predictor.  The workload hands it
+instruction-fetch references (cache-line granularity, each covering a
+run of sequential instructions) and optional branch outcomes; the core
+accounts the cycles and produces the statistics the energy model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.system import SystemConfig
+from repro.cpu.branch import HybridPredictor
+from repro.cpu.pipeline import TimingModel
+from repro.dri.dri_cache import DRIICache
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Summary of one core run over a workload trace."""
+
+    instructions: int
+    cycles: int
+    l1_accesses: int
+    l1_misses: int
+    l2_accesses: int
+    l2_misses: int
+    branch_mispredictions: int
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 i-cache misses per access."""
+        if self.l1_accesses == 0:
+            return 0.0
+        return self.l1_misses / self.l1_accesses
+
+
+class ProcessorCore:
+    """An out-of-order core front end driving an L1 i-cache.
+
+    Parameters
+    ----------
+    system:
+        The Table 1 system configuration.
+    icache:
+        The L1 i-cache to drive — either a conventional :class:`Cache` or a
+        :class:`~repro.dri.dri_cache.DRIICache`.
+    base_cpi:
+        The workload's base CPI (everything except i-cache misses).
+    use_branch_predictor:
+        If true, branch outcomes fed through :meth:`execute_branch` are
+        predicted with the 2-level hybrid predictor and mispredictions are
+        charged explicitly; if false, branch effects are assumed to be
+        folded into ``base_cpi``.
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        icache: Cache,
+        base_cpi: float = 0.75,
+        use_branch_predictor: bool = False,
+        hierarchy: Optional[MemoryHierarchy] = None,
+    ) -> None:
+        self.system = system
+        self.icache = icache
+        self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy(system)
+        self.timing = TimingModel(pipeline=system.pipeline, base_cpi=base_cpi)
+        self.branch_predictor = HybridPredictor() if use_branch_predictor else None
+        self._l1_latency = system.l1_icache.latency
+        self.instructions_executed = 0
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def fetch_line(self, line_address: int, instructions: int) -> bool:
+        """Fetch one i-cache line covering ``instructions`` sequential instructions.
+
+        Returns True on an L1 hit.  On a miss the lower hierarchy is
+        accessed and the exposed portion of the miss latency is charged.
+        """
+        if instructions < 1:
+            raise ValueError("a fetch must cover at least one instruction")
+        result = self.icache.access(line_address)
+        self.timing.account_instructions(instructions)
+        self.instructions_executed += instructions
+        if not result.hit:
+            response = self.hierarchy.access_from_l1_miss(line_address)
+            self.timing.account_fetch_miss(response.latency)
+        return result.hit
+
+    def execute_branch(self, pc: int, taken: bool) -> bool:
+        """Run one conditional branch through the predictor; returns correctness."""
+        if self.branch_predictor is None:
+            raise RuntimeError("core was built without a branch predictor")
+        correct = self.branch_predictor.predict_and_update(pc, taken)
+        if not correct:
+            self.timing.account_branch_misprediction()
+        return correct
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Flush any partial DRI sense interval into the statistics."""
+        if isinstance(self.icache, DRIICache):
+            self.icache.finalize()
+
+    def result(self) -> CoreResult:
+        """Summarise the run so far."""
+        mispredictions = (
+            self.branch_predictor.stats.mispredictions if self.branch_predictor else 0
+        )
+        return CoreResult(
+            instructions=self.instructions_executed,
+            cycles=self.timing.cycles,
+            l1_accesses=self.icache.stats.accesses,
+            l1_misses=self.icache.stats.misses,
+            l2_accesses=self.hierarchy.l2_accesses,
+            l2_misses=self.hierarchy.l2_misses,
+            branch_mispredictions=mispredictions,
+        )

@@ -1,0 +1,18 @@
+"""The DRI i-cache: size mask, adaptive controller, throttle, and the cache itself."""
+
+from repro.dri.controller import ResizeController, ResizeOutcome
+from repro.dri.dri_cache import DRIICache
+from repro.dri.mask import SizeMask
+from repro.dri.stats import DRIStatistics, IntervalRecord
+from repro.dri.throttle import ResizeDecision, ResizeThrottle
+
+__all__ = [
+    "ResizeController",
+    "ResizeOutcome",
+    "DRIICache",
+    "SizeMask",
+    "DRIStatistics",
+    "IntervalRecord",
+    "ResizeDecision",
+    "ResizeThrottle",
+]

@@ -1,0 +1,138 @@
+"""The adaptive resizing controller of the DRI i-cache (Section 2.1).
+
+At the end of every sense interval the controller compares the interval's
+miss count against the miss-bound (Figure 1):
+
+* fewer misses than the bound -> the cache has miss-rate slack, so it is
+  over-provisioned -> **downsize** to save leakage;
+* more misses than the bound  -> the working set does not fit at this
+  size -> **upsize** to bring the miss rate back under the bound.
+
+This is what gives the miss-bound its meaning: it is the miss count per
+interval the cache is allowed to approach, so a *larger* miss-bound
+permits more aggressive downsizing (the paper's "aggressive"
+configuration) and a smaller one keeps the cache close to conventional
+behaviour ("conservative").
+
+Downsizing is limited by the size-bound and may be suppressed by the
+oscillation throttle; both resizing directions move the size by the
+divisibility factor.  The controller is pure policy: it owns no cache
+state, only the current size, and reports decisions that the DRI i-cache
+applies to its tag/data arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.parameters import DRIParameters
+from repro.dri.mask import SizeMask
+from repro.dri.throttle import ResizeDecision, ResizeThrottle
+
+
+@dataclass(frozen=True)
+class ResizeOutcome:
+    """What happened at one interval boundary."""
+
+    decision: ResizeDecision
+    previous_size: int
+    new_size: int
+    miss_count: int
+    throttled: bool
+
+    @property
+    def changed(self) -> bool:
+        """True if the cache size actually changed."""
+        return self.new_size != self.previous_size
+
+
+class ResizeController:
+    """Decides the DRI i-cache's size at each sense-interval boundary."""
+
+    def __init__(self, parameters: DRIParameters, mask: SizeMask) -> None:
+        if parameters.size_bound != mask.size_bound:
+            raise ValueError("parameters.size_bound must match the mask's size_bound")
+        self.parameters = parameters
+        self.mask = mask
+        self.throttle = ResizeThrottle(parameters.throttle)
+        self._current_size = mask.geometry.size_bytes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def current_size(self) -> int:
+        """The cache size currently in effect, in bytes."""
+        return self._current_size
+
+    @property
+    def current_sets(self) -> int:
+        """The number of active sets currently in effect."""
+        return self.mask.sets_for_size(self._current_size)
+
+    @property
+    def full_size(self) -> int:
+        """The maximum (conventional) cache size in bytes."""
+        return self.mask.geometry.size_bytes
+
+    @property
+    def at_minimum(self) -> bool:
+        """True when the cache is at the size-bound."""
+        return self._current_size <= self.parameters.size_bound
+
+    @property
+    def at_maximum(self) -> bool:
+        """True when the cache is at its full size."""
+        return self._current_size >= self.full_size
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def _downsized(self) -> int:
+        smaller = self._current_size // self.parameters.divisibility
+        return max(smaller, self.parameters.size_bound)
+
+    def _upsized(self) -> int:
+        larger = self._current_size * self.parameters.divisibility
+        return min(larger, self.full_size)
+
+    def end_of_interval(self, miss_count: int) -> ResizeOutcome:
+        """Apply the miss-bound rule for one finished sense interval."""
+        if miss_count < 0:
+            raise ValueError("miss count cannot be negative")
+        self.throttle.interval_tick()
+        previous = self._current_size
+        decision = ResizeDecision.NONE
+        throttled = False
+
+        if miss_count < self.parameters.miss_bound and not self.at_minimum:
+            if self.throttle.downsize_allowed():
+                decision = ResizeDecision.DOWNSIZE
+            else:
+                throttled = True
+        elif miss_count > self.parameters.miss_bound and not self.at_maximum:
+            decision = ResizeDecision.UPSIZE
+
+        if decision is ResizeDecision.DOWNSIZE:
+            self._current_size = self._downsized()
+        elif decision is ResizeDecision.UPSIZE:
+            self._current_size = self._upsized()
+
+        self.throttle.record(decision)
+        return ResizeOutcome(
+            decision=decision,
+            previous_size=previous,
+            new_size=self._current_size,
+            miss_count=miss_count,
+            throttled=throttled,
+        )
+
+    def force_size(self, size_bytes: int) -> None:
+        """Set the size directly (used by tests and by warm-start scenarios)."""
+        self.mask.sets_for_size(size_bytes)  # validates range and power of two
+        self._current_size = size_bytes
+
+    def reset(self) -> None:
+        """Return to the full size and clear the throttle."""
+        self._current_size = self.full_size
+        self.throttle.reset()

@@ -1,0 +1,190 @@
+"""The Dynamically ResIzable instruction cache (the paper's core contribution).
+
+A :class:`DRIICache` behaves exactly like a conventional i-cache of its
+full size until it decides, at a sense-interval boundary, to change the
+number of active sets:
+
+* **downsizing** disables the highest-numbered sets in powers of two; the
+  gated-Vdd transistors of those sets are turned off, so their contents
+  are lost (modelled as invalidation) and they stop dissipating leakage;
+* **upsizing** re-enables sets; they come back empty, and blocks that now
+  map to a different set simply miss once and get refetched (the i-cache
+  tolerates the resulting aliases because instructions are read-only,
+  Section 2.2).
+
+Lookups always compare the tag of the *smallest allowed size* (regular
+tag + resizing tag bits), so the surviving blocks remain valid across
+downsizing without any flush or block migration.
+
+The cache counts its accesses and misses per sense interval and consults a
+:class:`~repro.dri.controller.ResizeController` at every boundary; all
+statistics needed by the Section 5.2 energy formulas are accumulated in a
+:class:`~repro.dri.stats.DRIStatistics`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.parameters import DRIParameters
+from repro.config.system import CacheGeometry
+from repro.dri.controller import ResizeController, ResizeOutcome
+from repro.dri.mask import SizeMask
+from repro.dri.stats import DRIStatistics
+from repro.dri.throttle import ResizeDecision
+from repro.memory.cache import AccessResult, Cache
+
+
+class DRIICache(Cache):
+    """A dynamically resizable, gated-Vdd instruction cache.
+
+    Parameters
+    ----------
+    geometry:
+        Full-size geometry (the conventional cache it replaces).
+    parameters:
+        Adaptivity parameters (miss-bound, size-bound, interval, divisibility).
+    name:
+        Label for statistics reports.
+    auto_interval:
+        If true (default) the cache evaluates the resize decision by itself
+        every ``parameters.sense_interval`` accesses; if false the driver
+        must call :meth:`end_interval` explicitly (e.g. to align intervals
+        with instruction counts rather than fetch counts).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        parameters: DRIParameters,
+        name: str = "DRI-L1I",
+        address_bits: int = 32,
+        auto_interval: bool = True,
+    ) -> None:
+        super().__init__(geometry, name=name, replacement="lru")
+        self.parameters = parameters
+        self.mask = SizeMask(geometry, parameters.size_bound, address_bits=address_bits)
+        self.controller = ResizeController(parameters, self.mask)
+        self.dri_stats = DRIStatistics(full_size_bytes=geometry.size_bytes)
+        self.auto_interval = auto_interval
+        self._interval_accesses = 0
+        self._interval_misses = 0
+        self._min_index_bits = self.mask.min_index_bits
+
+    # ------------------------------------------------------------------
+    # Size queries
+    # ------------------------------------------------------------------
+    @property
+    def current_size_bytes(self) -> int:
+        """The cache capacity currently powered on, in bytes."""
+        return self.controller.current_size
+
+    @property
+    def current_sets(self) -> int:
+        """The number of sets currently enabled."""
+        return self.controller.current_sets
+
+    @property
+    def active_fraction(self) -> float:
+        """Enabled capacity as a fraction of the full capacity (right now)."""
+        return self.current_size_bytes / self.geometry.size_bytes
+
+    @property
+    def resizing_tag_bits(self) -> int:
+        """Extra tag bits stored to support downsizing to the size-bound."""
+        return self.mask.resizing_tag_bits
+
+    # ------------------------------------------------------------------
+    # Access path
+    # ------------------------------------------------------------------
+    def access(self, address: int) -> AccessResult:
+        """Fetch lookup with the current size mask and min-size tags."""
+        block = self.block_address(address)
+        set_index = block & (self.controller.current_sets - 1)
+        tag = block >> self._min_index_bits
+        result = self._access_set(set_index, tag)
+        self.dri_stats.record_access(result.hit)
+        self._interval_accesses += 1
+        if not result.hit:
+            self._interval_misses += 1
+        if self.auto_interval and self._interval_accesses >= self.parameters.sense_interval:
+            self.end_interval()
+        return result
+
+    def contains(self, address: int) -> bool:
+        """True if the block is resident under the *current* mapping."""
+        block = self.block_address(address)
+        set_index = block & (self.controller.current_sets - 1)
+        tag = block >> self._min_index_bits
+        return tag in self._tags[set_index]
+
+    # ------------------------------------------------------------------
+    # Interval handling
+    # ------------------------------------------------------------------
+    def end_interval(self, instructions: Optional[int] = None) -> ResizeOutcome:
+        """Close the current sense interval and apply the resize decision.
+
+        ``instructions`` defaults to the number of accesses in the interval
+        (the paper's approximation of one i-cache access per instruction).
+        """
+        accesses = self._interval_accesses
+        misses = self._interval_misses
+        if instructions is None:
+            instructions = accesses
+        size_during = self.controller.current_size
+        outcome = self.controller.end_of_interval(misses)
+        if outcome.decision is ResizeDecision.DOWNSIZE and outcome.changed:
+            self._disable_sets(outcome.new_size)
+        self.dri_stats.record_interval(
+            instructions=instructions,
+            accesses=accesses,
+            misses=misses,
+            size_bytes_during=size_during,
+            size_bytes_at_end=outcome.new_size,
+            resized=outcome.decision.value if outcome.changed else "none",
+            throttled=outcome.throttled,
+        )
+        self._interval_accesses = 0
+        self._interval_misses = 0
+        return outcome
+
+    def _disable_sets(self, new_size: int) -> None:
+        """Invalidate the sets being gated off by a downsize to ``new_size``."""
+        new_sets = self.mask.sets_for_size(new_size)
+        old_sets = self.num_sets
+        # Only sets that still hold blocks need clearing: anything above the
+        # previous active-set count is already empty.
+        for set_index in range(new_sets, old_sets):
+            if self._tags[set_index]:
+                self.invalidate_set(set_index)
+
+    # ------------------------------------------------------------------
+    # Run finalisation
+    # ------------------------------------------------------------------
+    def finalize(self, instructions: Optional[int] = None) -> None:
+        """Flush a partial final interval into the statistics (no resize)."""
+        if self._interval_accesses == 0:
+            return
+        accesses = self._interval_accesses
+        misses = self._interval_misses
+        if instructions is None:
+            instructions = accesses
+        self.dri_stats.record_interval(
+            instructions=instructions,
+            accesses=accesses,
+            misses=misses,
+            size_bytes_during=self.controller.current_size,
+            size_bytes_at_end=self.controller.current_size,
+            resized="none",
+        )
+        self._interval_accesses = 0
+        self._interval_misses = 0
+
+    def reset(self) -> None:
+        """Return to full size, drop all contents, and zero all statistics."""
+        self.flush()
+        self.stats.reset()
+        self.controller.reset()
+        self.dri_stats = DRIStatistics(full_size_bytes=self.geometry.size_bytes)
+        self._interval_accesses = 0
+        self._interval_misses = 0

@@ -1,0 +1,148 @@
+"""Per-interval and whole-run statistics of a DRI i-cache.
+
+The energy accounting (Section 5.2) needs the **active fraction** of the
+cache averaged over the execution, the total access and miss counts, and
+the number of extra L2 accesses relative to a conventional cache; the
+figures additionally report the **average cache size**.  This module
+collects those quantities as the cache runs, keeping a per-interval record
+so examples and benches can plot the size trajectory against the
+application's phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """What happened during one sense interval."""
+
+    index: int
+    instructions: int
+    accesses: int
+    misses: int
+    size_bytes_at_end: int
+    size_bytes_during: int
+    resized: str
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss rate within this interval."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+@dataclass
+class DRIStatistics:
+    """Accumulated statistics of one DRI i-cache run."""
+
+    full_size_bytes: int
+    accesses: int = 0
+    misses: int = 0
+    upsizings: int = 0
+    downsizings: int = 0
+    throttled_downsizings: int = 0
+    intervals: List[IntervalRecord] = field(default_factory=list)
+    _size_weighted_instructions: float = 0.0
+    _instructions_observed: int = 0
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_access(self, hit: bool) -> None:
+        """Record one cache access."""
+        self.accesses += 1
+        if not hit:
+            self.misses += 1
+
+    def record_interval(
+        self,
+        instructions: int,
+        accesses: int,
+        misses: int,
+        size_bytes_during: int,
+        size_bytes_at_end: int,
+        resized: str,
+        throttled: bool = False,
+    ) -> None:
+        """Record the end of one sense interval.
+
+        ``size_bytes_during`` is the size that was in effect while the
+        interval ran (the size chosen at the *previous* boundary);
+        ``size_bytes_at_end`` is the size chosen for the next interval.
+        """
+        record = IntervalRecord(
+            index=len(self.intervals),
+            instructions=instructions,
+            accesses=accesses,
+            misses=misses,
+            size_bytes_at_end=size_bytes_at_end,
+            size_bytes_during=size_bytes_during,
+            resized=resized,
+        )
+        self.intervals.append(record)
+        self._size_weighted_instructions += size_bytes_during * instructions
+        self._instructions_observed += instructions
+        self.size_histogram[size_bytes_during] = (
+            self.size_histogram.get(size_bytes_during, 0) + instructions
+        )
+        if resized == "upsize":
+            self.upsizings += 1
+        elif resized == "downsize":
+            self.downsizings += 1
+        if throttled:
+            self.throttled_downsizings += 1
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def miss_rate(self) -> float:
+        """Whole-run L1 miss rate."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def average_size_bytes(self) -> float:
+        """Instruction-weighted average cache size over the run."""
+        if self._instructions_observed == 0:
+            return float(self.full_size_bytes)
+        return self._size_weighted_instructions / self._instructions_observed
+
+    @property
+    def average_size_fraction(self) -> float:
+        """Average size as a fraction of the full cache size (Figure 3, right)."""
+        return self.average_size_bytes / self.full_size_bytes
+
+    @property
+    def average_active_fraction(self) -> float:
+        """Alias used by the energy formulas (identical to the size fraction)."""
+        return self.average_size_fraction
+
+    @property
+    def resizings(self) -> int:
+        """Total number of size changes."""
+        return self.upsizings + self.downsizings
+
+    @property
+    def instructions_observed(self) -> int:
+        """Total dynamic instructions covered by recorded intervals."""
+        return self._instructions_observed
+
+    def size_time_fractions(self) -> Dict[int, float]:
+        """Fraction of execution spent at each size (instruction-weighted)."""
+        if self._instructions_observed == 0:
+            return {}
+        return {
+            size: count / self._instructions_observed
+            for size, count in sorted(self.size_histogram.items())
+        }
+
+    def size_trajectory(self) -> List[int]:
+        """The cache size in effect during each successive interval."""
+        return [record.size_bytes_during for record in self.intervals]

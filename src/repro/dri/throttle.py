@@ -1,0 +1,103 @@
+"""Resizing throttle (Section 2.1 / Section 5.3 of the paper).
+
+If an application's ideal cache size sits between two adjacent DRI sizes,
+the adaptive mechanism would otherwise bounce between them every interval:
+too many misses at the small size (downsize was wrong, upsize), too few at
+the large size (upsize looks wasteful, downsize), and so on.  The paper
+suppresses this with a small saturating counter: when oscillation between
+two adjacent sizes is detected repeatedly, **downsizing is blocked for a
+fixed number of sense intervals** (ten in the paper) while upsizing
+remains allowed.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.config.parameters import ThrottleConfig
+
+
+class ResizeDecision(Enum):
+    """What the controller decided to do at an interval boundary."""
+
+    NONE = "none"
+    UPSIZE = "upsize"
+    DOWNSIZE = "downsize"
+
+
+class ResizeThrottle:
+    """Saturating-counter detector of repeated resizing.
+
+    The counter tracks resizing *activity*: it increments on every
+    interval that resizes (either direction) and decays by one on every
+    interval that does not.  An application whose required size sits
+    between two DRI sizes keeps resizing almost every interval — the
+    counter climbs to saturation and the throttle blocks further
+    downsizing for ``hold_intervals`` sense intervals (upsizing stays
+    allowed, as the paper requires).  An application that resizes only at
+    genuine phase transitions produces short bursts separated by long
+    quiet stretches, so the counter decays back down and the throttle
+    never engages.  When a hold expires the counter restarts from zero.
+    """
+
+    def __init__(self, config: ThrottleConfig | None = None) -> None:
+        self.config = config if config is not None else ThrottleConfig()
+        self._counter = 0
+        self._hold_remaining = 0
+        self._last_direction: ResizeDecision = ResizeDecision.NONE
+        self.engagements = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def counter(self) -> int:
+        """Current saturating-counter value."""
+        return self._counter
+
+    @property
+    def holding(self) -> bool:
+        """True while downsizing is being suppressed."""
+        return self._hold_remaining > 0
+
+    @property
+    def hold_remaining(self) -> int:
+        """Intervals left in the current hold period."""
+        return self._hold_remaining
+
+    def downsize_allowed(self) -> bool:
+        """Whether the controller may downsize this interval."""
+        return not self.holding
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def interval_tick(self) -> None:
+        """Advance one sense interval (decrements an active hold)."""
+        if self._hold_remaining > 0:
+            self._hold_remaining -= 1
+            if self._hold_remaining == 0:
+                self._counter = 0
+
+    def record(self, decision: ResizeDecision) -> None:
+        """Record the controller's decision for this interval.
+
+        A resize (either direction) bumps the counter; a quiet interval
+        decays it by one.  Saturation engages a hold of ``hold_intervals``
+        intervals during which downsizing is suppressed.
+        """
+        if decision is ResizeDecision.NONE:
+            if self._counter > 0:
+                self._counter -= 1
+            return
+        self._counter = min(self._counter + 1, self.config.saturation_value)
+        if self._counter >= self.config.saturation_value and not self.holding:
+            self._hold_remaining = self.config.hold_intervals
+            self.engagements += 1
+        self._last_direction = decision
+
+    def reset(self) -> None:
+        """Forget all throttle state."""
+        self._counter = 0
+        self._hold_remaining = 0
+        self._last_direction = ResizeDecision.NONE

@@ -1,0 +1,23 @@
+"""Energy accounting: Section 5.2 constants, formulas, and DRI-vs-conventional comparisons."""
+
+from repro.energy.comparison import PERFORMANCE_CONSTRAINT, ComparisonResult, compare_runs
+from repro.energy.constants import (
+    PAPER_L1_LEAKAGE_NJ_PER_CYCLE,
+    PAPER_L2_ACCESS_NJ,
+    PAPER_RESIZING_BITLINE_NJ,
+    EnergyConstants,
+)
+from repro.energy.model import EnergyBreakdown, EnergyModel, RunStatistics
+
+__all__ = [
+    "PERFORMANCE_CONSTRAINT",
+    "ComparisonResult",
+    "compare_runs",
+    "PAPER_L1_LEAKAGE_NJ_PER_CYCLE",
+    "PAPER_L2_ACCESS_NJ",
+    "PAPER_RESIZING_BITLINE_NJ",
+    "EnergyConstants",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "RunStatistics",
+]

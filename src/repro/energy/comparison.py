@@ -1,0 +1,128 @@
+"""Comparison of a DRI i-cache run against its conventional baseline.
+
+Figures 3-6 of the paper report, per benchmark:
+
+* the effective leakage **energy-delay product normalised to the
+  conventional i-cache**, split into the L1 leakage component and the
+  extra (L1 + L2) dynamic component,
+* the **average cache size** as a fraction of the conventional size, and
+* the **percentage slowdown** whenever it exceeds 4%.
+
+:class:`ComparisonResult` packages those three numbers (plus the raw
+breakdown) for one benchmark/configuration pair, and
+:func:`compare_runs` builds it from the DRI and conventional run
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.model import EnergyBreakdown, EnergyModel, RunStatistics
+
+PERFORMANCE_CONSTRAINT = 0.04
+"""The paper's performance-constrained bound: at most 4% slowdown."""
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """One benchmark's DRI-versus-conventional comparison."""
+
+    benchmark: str
+    breakdown: EnergyBreakdown
+    dri_delay_cycles: int
+    conventional_delay_cycles: int
+    average_size_fraction: float
+    dri_miss_rate: float
+    conventional_miss_rate: float
+
+    @property
+    def slowdown(self) -> float:
+        """Fractional execution-time increase over the conventional i-cache."""
+        if self.conventional_delay_cycles <= 0:
+            return 0.0
+        return (
+            self.dri_delay_cycles - self.conventional_delay_cycles
+        ) / self.conventional_delay_cycles
+
+    @property
+    def meets_performance_constraint(self) -> bool:
+        """True if the slowdown is within the paper's 4% bound."""
+        return self.slowdown <= PERFORMANCE_CONSTRAINT + 1e-12
+
+    @property
+    def relative_energy_delay(self) -> float:
+        """Energy-delay product normalised to the conventional i-cache."""
+        return self.breakdown.relative_energy_delay(self.conventional_delay_cycles)
+
+    @property
+    def leakage_energy_delay_component(self) -> float:
+        """The L1-leakage share of the normalised energy-delay (stacked bars)."""
+        conventional = self.breakdown.conventional_energy_delay(self.conventional_delay_cycles)
+        if conventional <= 0:
+            return 0.0
+        return self.breakdown.l1_leakage_nj * self.dri_delay_cycles / conventional
+
+    @property
+    def dynamic_energy_delay_component(self) -> float:
+        """The extra-dynamic share of the normalised energy-delay (stacked bars)."""
+        conventional = self.breakdown.conventional_energy_delay(self.conventional_delay_cycles)
+        if conventional <= 0:
+            return 0.0
+        extra = self.breakdown.extra_l1_dynamic_nj + self.breakdown.extra_l2_dynamic_nj
+        return extra * self.dri_delay_cycles / conventional
+
+    @property
+    def energy_delay_reduction(self) -> float:
+        """1 - relative energy-delay: the headline '62% reduction' number."""
+        return 1.0 - self.relative_energy_delay
+
+    @property
+    def extra_miss_rate(self) -> float:
+        """Absolute increase in the L1 miss rate over the conventional cache."""
+        return max(0.0, self.dri_miss_rate - self.conventional_miss_rate)
+
+    def summary(self) -> dict:
+        """Flat dictionary used by the report/figure builders."""
+        return {
+            "benchmark": self.benchmark,
+            "relative_energy_delay": self.relative_energy_delay,
+            "leakage_component": self.leakage_energy_delay_component,
+            "dynamic_component": self.dynamic_energy_delay_component,
+            "average_size_fraction": self.average_size_fraction,
+            "slowdown_percent": self.slowdown * 100.0,
+            "dri_miss_rate": self.dri_miss_rate,
+            "conventional_miss_rate": self.conventional_miss_rate,
+            "meets_constraint": self.meets_performance_constraint,
+        }
+
+
+def compare_runs(
+    benchmark: str,
+    dri_stats: RunStatistics,
+    conventional_stats: RunStatistics,
+    average_size_fraction: float,
+    dri_miss_rate: float,
+    conventional_miss_rate: float,
+    model: EnergyModel | None = None,
+) -> ComparisonResult:
+    """Build a :class:`ComparisonResult` from DRI and conventional run statistics.
+
+    ``conventional_stats`` only contributes its delay (the conventional
+    cache's leakage is computed from the DRI run's cycle count per the
+    paper's formulas, so both sides cover the same amount of work).
+    """
+    if model is None:
+        model = EnergyModel()
+    if not 0.0 <= average_size_fraction <= 1.0:
+        raise ValueError("average size fraction must be in [0, 1]")
+    breakdown = model.breakdown(dri_stats)
+    return ComparisonResult(
+        benchmark=benchmark,
+        breakdown=breakdown,
+        dri_delay_cycles=dri_stats.delay_cycles,
+        conventional_delay_cycles=conventional_stats.delay_cycles,
+        average_size_fraction=average_size_fraction,
+        dri_miss_rate=dri_miss_rate,
+        conventional_miss_rate=conventional_miss_rate,
+    )

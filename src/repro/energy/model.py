@@ -1,0 +1,202 @@
+"""The Section 5.2 energy accounting for a DRI i-cache run.
+
+The paper computes, for a whole benchmark execution::
+
+    energy savings = conventional i-cache leakage energy
+                     - effective L1 DRI i-cache leakage energy
+
+    effective L1 DRI leakage energy = L1 leakage energy
+                                      + extra L1 dynamic energy
+                                      + extra L2 dynamic energy
+
+    L1 leakage energy        = active fraction x 0.91 nJ x cycles
+    extra L1 dynamic energy  = resizing bits x 0.0022 nJ x L1 accesses
+    extra L2 dynamic energy  = 3.6 nJ x extra L2 accesses
+
+:class:`EnergyModel` evaluates those formulas for measured run statistics,
+produces the leakage/dynamic breakdown shown in Figures 3-6, and computes
+the energy-delay product used to rank configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.constants import EnergyConstants
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Architectural statistics of one simulated benchmark execution.
+
+    These are the quantities the energy formulas consume; the simulator
+    (:mod:`repro.simulation`) produces them and analytic examples can
+    construct them directly.
+    """
+
+    cycles: int
+    l1_accesses: int
+    active_fraction: float
+    resizing_tag_bits: int
+    extra_l2_accesses: int
+    execution_time_cycles: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.l1_accesses < 0:
+            raise ValueError("cycle and access counts cannot be negative")
+        if not 0.0 <= self.active_fraction <= 1.0:
+            raise ValueError("active fraction must be in [0, 1]")
+        if self.resizing_tag_bits < 0:
+            raise ValueError("resizing tag bits cannot be negative")
+        if self.extra_l2_accesses < 0:
+            raise ValueError("extra L2 accesses cannot be negative")
+
+    @property
+    def delay_cycles(self) -> int:
+        """Execution time in cycles (defaults to ``cycles`` if not given)."""
+        if self.execution_time_cycles is not None:
+            return self.execution_time_cycles
+        return self.cycles
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy components of one run, all in nJ."""
+
+    l1_leakage_nj: float
+    extra_l1_dynamic_nj: float
+    extra_l2_dynamic_nj: float
+    conventional_leakage_nj: float
+    delay_cycles: int
+
+    @property
+    def effective_leakage_nj(self) -> float:
+        """Effective DRI i-cache leakage energy (Section 5.2)."""
+        return self.l1_leakage_nj + self.extra_l1_dynamic_nj + self.extra_l2_dynamic_nj
+
+    @property
+    def savings_nj(self) -> float:
+        """Absolute energy savings relative to the conventional i-cache."""
+        return self.conventional_leakage_nj - self.effective_leakage_nj
+
+    @property
+    def savings_fraction(self) -> float:
+        """Relative energy savings (0.62 means 62% lower than conventional)."""
+        if self.conventional_leakage_nj <= 0:
+            return 0.0
+        return self.savings_nj / self.conventional_leakage_nj
+
+    @property
+    def relative_energy(self) -> float:
+        """Effective energy normalised to the conventional i-cache."""
+        if self.conventional_leakage_nj <= 0:
+            return 0.0
+        return self.effective_leakage_nj / self.conventional_leakage_nj
+
+    @property
+    def dynamic_fraction(self) -> float:
+        """Share of the effective energy that is extra dynamic energy."""
+        total = self.effective_leakage_nj
+        if total <= 0:
+            return 0.0
+        return (self.extra_l1_dynamic_nj + self.extra_l2_dynamic_nj) / total
+
+    def energy_delay(self) -> float:
+        """Effective-leakage-energy x delay product, in nJ-cycles."""
+        return self.effective_leakage_nj * self.delay_cycles
+
+    def conventional_energy_delay(self, conventional_delay_cycles: int | None = None) -> float:
+        """Conventional i-cache leakage-energy x delay product."""
+        delay = conventional_delay_cycles if conventional_delay_cycles is not None else self.delay_cycles
+        return self.conventional_leakage_nj * delay
+
+    def relative_energy_delay(self, conventional_delay_cycles: int | None = None) -> float:
+        """Energy-delay relative to the conventional i-cache (Figures 3-6)."""
+        conventional = self.conventional_energy_delay(conventional_delay_cycles)
+        if conventional <= 0:
+            return 0.0
+        return self.energy_delay() / conventional
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Evaluates the Section 5.2 formulas for measured run statistics."""
+
+    constants: EnergyConstants = EnergyConstants()
+
+    def conventional_leakage_nj(self, cycles: int, size_bytes: int | None = None) -> float:
+        """Leakage energy of the conventional i-cache over ``cycles``."""
+        if cycles < 0:
+            raise ValueError("cycles cannot be negative")
+        per_cycle = (
+            self.constants.l1_leakage_nj_per_cycle
+            if size_bytes is None
+            else self.constants.l1_leakage_for_size(size_bytes)
+        )
+        return per_cycle * cycles
+
+    def l1_leakage_nj(self, stats: RunStatistics) -> float:
+        """Leakage of the DRI i-cache: active portion at full leakage, standby
+        portion at the residual standby fraction (zero per the paper)."""
+        per_cycle = self.constants.l1_leakage_nj_per_cycle
+        active = stats.active_fraction * per_cycle * stats.cycles
+        standby = (
+            (1.0 - stats.active_fraction)
+            * self.constants.standby_leakage_fraction
+            * per_cycle
+            * stats.cycles
+        )
+        return active + standby
+
+    def extra_l1_dynamic_nj(self, stats: RunStatistics) -> float:
+        """Dynamic energy added by reading the resizing tag bits on every access."""
+        return stats.resizing_tag_bits * self.constants.resizing_bitline_nj * stats.l1_accesses
+
+    def extra_l2_dynamic_nj(self, stats: RunStatistics) -> float:
+        """Dynamic energy added by the extra L1 misses that access the L2."""
+        return self.constants.l2_access_nj * stats.extra_l2_accesses
+
+    def breakdown(self, stats: RunStatistics) -> EnergyBreakdown:
+        """Full Section 5.2 breakdown for one run."""
+        return EnergyBreakdown(
+            l1_leakage_nj=self.l1_leakage_nj(stats),
+            extra_l1_dynamic_nj=self.extra_l1_dynamic_nj(stats),
+            extra_l2_dynamic_nj=self.extra_l2_dynamic_nj(stats),
+            conventional_leakage_nj=self.conventional_leakage_nj(stats.cycles),
+            delay_cycles=stats.delay_cycles,
+        )
+
+    # ------------------------------------------------------------------
+    # Section 5.2.1 ratio analysis
+    # ------------------------------------------------------------------
+    def l1_dynamic_to_leakage_ratio(self, resizing_bits: int, active_fraction: float) -> float:
+        """Ratio of extra L1 dynamic energy to L1 leakage energy.
+
+        Follows the paper's simplification of one L1 access per cycle:
+        ``(resizing bits x 0.0022) / (active fraction x 0.91)``.
+        With 5 resizing bits and a 0.5 active fraction this is ~0.024.
+        """
+        if not 0.0 < active_fraction <= 1.0:
+            raise ValueError("active fraction must be in (0, 1]")
+        if resizing_bits < 0:
+            raise ValueError("resizing bits cannot be negative")
+        numerator = resizing_bits * self.constants.resizing_bitline_nj
+        denominator = active_fraction * self.constants.l1_leakage_nj_per_cycle
+        return numerator / denominator
+
+    def l2_dynamic_to_leakage_ratio(self, extra_miss_rate: float, active_fraction: float) -> float:
+        """Ratio of extra L2 dynamic energy to L1 leakage energy.
+
+        Follows the paper's simplification of one L1 access per cycle:
+        ``(3.6 / (active fraction x 0.91)) x extra miss rate``.
+        With a 0.5 active fraction and a 1% absolute extra miss rate this
+        is ~0.08.
+        """
+        if not 0.0 < active_fraction <= 1.0:
+            raise ValueError("active fraction must be in (0, 1]")
+        if extra_miss_rate < 0:
+            raise ValueError("extra miss rate cannot be negative")
+        factor = self.constants.l2_access_nj / (
+            active_fraction * self.constants.l1_leakage_nj_per_cycle
+        )
+        return factor * extra_miss_rate

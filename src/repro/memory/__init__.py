@@ -1,0 +1,33 @@
+"""Cache and memory-hierarchy substrate."""
+
+from repro.memory.cache import AccessResult, Cache, CacheStatistics
+from repro.memory.hierarchy import (
+    HierarchyResponse,
+    InstructionMemoryPath,
+    MainMemory,
+    MemoryHierarchy,
+    ServiceLevel,
+)
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStatistics",
+    "HierarchyResponse",
+    "InstructionMemoryPath",
+    "MainMemory",
+    "MemoryHierarchy",
+    "ServiceLevel",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "make_policy",
+]

@@ -1,0 +1,220 @@
+"""A generic set-associative cache model.
+
+This is the substrate both the conventional i-cache baseline and the DRI
+i-cache build on.  The model is *functional* (it tracks which blocks are
+present, hits and misses) with per-access statistics; timing is handled by
+the CPU model, and energy by :mod:`repro.energy`.
+
+Design notes
+------------
+* Tags are stored per set as ``{tag: way}`` dictionaries plus a parallel
+  replacement-policy object, which keeps the common direct-mapped case a
+  single dictionary probe per access.
+* Addresses are plain integers; the set index is extracted with shifts and
+  masks derived from the geometry, exactly as hardware would.
+* The cache exposes ``invalidate_set`` and ``flush`` so the DRI i-cache can
+  model the disabling of sets when downsizing (blocks in gated-off sets
+  lose their contents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config.system import CacheGeometry
+from repro.memory.replacement import ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (0 when the cache has not been accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.accesses = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def snapshot(self) -> "CacheStatistics":
+        """Return an independent copy of the current counters."""
+        return CacheStatistics(
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            invalidations=self.invalidations,
+        )
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    set_index: int
+    tag: int
+    evicted_tag: Optional[int] = None
+
+
+class Cache:
+    """A set-associative cache with configurable replacement.
+
+    Parameters
+    ----------
+    geometry:
+        Capacity, block size, associativity, and latency.
+    name:
+        Label used in statistics reports (e.g. ``"L1I"``).
+    replacement:
+        Replacement policy name ("lru", "fifo", or "random").
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        name: str = "cache",
+        replacement: str = "lru",
+    ) -> None:
+        self.geometry = geometry
+        self.name = name
+        self.replacement_name = replacement
+        self.stats = CacheStatistics()
+        self._offset_bits = geometry.offset_bits
+        self._num_sets = geometry.num_sets
+        self._index_mask = self._num_sets - 1
+        self._index_bits = self._num_sets.bit_length() - 1
+        self._associativity = geometry.associativity
+        # Per-set tag stores: tag -> way, and way -> tag.
+        self._tags: List[Dict[int, int]] = [dict() for _ in range(self._num_sets)]
+        self._way_tags: List[List[Optional[int]]] = [
+            [None] * self._associativity for _ in range(self._num_sets)
+        ]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(replacement, self._associativity) for _ in range(self._num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the cache."""
+        return self._num_sets
+
+    def block_address(self, address: int) -> int:
+        """The block-aligned address (address without the offset bits)."""
+        return address >> self._offset_bits
+
+    def set_index(self, address: int) -> int:
+        """The set an address maps to."""
+        return self.block_address(address) & self._index_mask
+
+    def tag_of(self, address: int) -> int:
+        """The tag bits of an address for this cache's full-size indexing."""
+        return self.block_address(address) >> self._index_bits
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, address: int) -> AccessResult:
+        """Look up ``address``; on a miss, fill the block (allocate on miss)."""
+        block = self.block_address(address)
+        set_index = block & self._index_mask
+        tag = block >> self._index_bits
+        return self._access_set(set_index, tag)
+
+    def _access_set(self, set_index: int, tag: int) -> AccessResult:
+        """Access a specific set with a pre-computed tag (used by subclasses)."""
+        self.stats.accesses += 1
+        tag_store = self._tags[set_index]
+        way = tag_store.get(tag)
+        if way is not None:
+            self.stats.hits += 1
+            self._policies[set_index].touch(way)
+            return AccessResult(hit=True, set_index=set_index, tag=tag)
+        self.stats.misses += 1
+        evicted = self._fill(set_index, tag)
+        return AccessResult(hit=False, set_index=set_index, tag=tag, evicted_tag=evicted)
+
+    def _fill(self, set_index: int, tag: int) -> Optional[int]:
+        """Place ``tag`` into ``set_index``, evicting a victim if needed."""
+        tag_store = self._tags[set_index]
+        way_tags = self._way_tags[set_index]
+        policy = self._policies[set_index]
+        evicted: Optional[int] = None
+        # Prefer an empty way.
+        way = None
+        for candidate, existing in enumerate(way_tags):
+            if existing is None:
+                way = candidate
+                break
+        if way is None:
+            way = policy.victim()
+            evicted = way_tags[way]
+            if evicted is not None:
+                del tag_store[evicted]
+                self.stats.evictions += 1
+        way_tags[way] = tag
+        tag_store[tag] = way
+        policy.fill(way)
+        return evicted
+
+    def contains(self, address: int) -> bool:
+        """True if the block holding ``address`` is currently cached (no side effects)."""
+        block = self.block_address(address)
+        set_index = block & self._index_mask
+        tag = block >> self._index_bits
+        return tag in self._tags[set_index]
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate_set(self, set_index: int) -> int:
+        """Invalidate every block in ``set_index``; returns the number dropped."""
+        if not 0 <= set_index < self._num_sets:
+            raise IndexError(f"set index {set_index} out of range")
+        dropped = len(self._tags[set_index])
+        if dropped:
+            self._tags[set_index].clear()
+            self._way_tags[set_index] = [None] * self._associativity
+            self._policies[set_index].reset()
+            self.stats.invalidations += dropped
+        return dropped
+
+    def flush(self) -> int:
+        """Invalidate the whole cache; returns the number of blocks dropped."""
+        dropped = 0
+        for set_index in range(self._num_sets):
+            dropped += self.invalidate_set(set_index)
+        return dropped
+
+    def resident_blocks(self) -> int:
+        """Number of valid blocks currently held."""
+        return sum(len(tag_store) for tag_store in self._tags)
+
+    def utilization(self) -> float:
+        """Fraction of block frames currently holding valid blocks."""
+        return self.resident_blocks() / self.geometry.num_blocks

@@ -1,0 +1,131 @@
+"""The memory hierarchy below the L1 i-cache.
+
+The paper's system (Table 1) has a 64K 2-way L1 d-cache, a 1M 4-way
+unified L2, and main memory at 80 cycles + 4 cycles per 8 bytes.  The DRI
+evaluation cares about the hierarchy for two reasons:
+
+* every extra L1 i-cache miss becomes an **extra L2 access**, which costs
+  3.6 nJ of dynamic energy and adds latency, and
+* L2 misses go to main memory with a large latency that the out-of-order
+  core only partially hides.
+
+:class:`MemoryHierarchy` wires the pieces together and returns, per
+instruction-fetch or data access, the latency the requesting core observes
+and which level serviced the request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.config.system import MemoryTiming, SystemConfig
+from repro.memory.cache import Cache
+
+
+class ServiceLevel(Enum):
+    """Which level of the hierarchy serviced an access."""
+
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class HierarchyResponse:
+    """Outcome of one access below the L1: latency and servicing level."""
+
+    latency: int
+    level: ServiceLevel
+
+
+class MainMemory:
+    """Main memory: always hits, with the Table 1 latency formula."""
+
+    def __init__(self, timing: MemoryTiming) -> None:
+        self.timing = timing
+        self.accesses = 0
+
+    def access(self, size_bytes: int) -> int:
+        """Access ``size_bytes``; returns the latency in cycles."""
+        self.accesses += 1
+        return self.timing.access_latency(size_bytes)
+
+
+class MemoryHierarchy:
+    """The L2 + main-memory portion of the hierarchy shared by both caches.
+
+    The L1 i-cache (conventional or DRI) and the L1 d-cache sit above this
+    object; they call :meth:`access_from_l1_miss` whenever they miss.
+    """
+
+    def __init__(self, system: SystemConfig, name: str = "hierarchy") -> None:
+        self.system = system
+        self.name = name
+        self.l2 = Cache(system.l2_cache, name="L2", replacement="lru")
+        self.memory = MainMemory(system.memory)
+        self.l2_accesses = 0
+        self.l2_misses = 0
+
+    def access_from_l1_miss(self, address: int) -> HierarchyResponse:
+        """Service an L1 miss: probe the L2, then main memory on an L2 miss.
+
+        The returned latency is the additional delay beyond the L1 hit
+        latency: the L2 latency on an L2 hit, plus the memory transfer
+        latency for one L2 block on an L2 miss.
+        """
+        self.l2_accesses += 1
+        result = self.l2.access(address)
+        latency = self.system.l2_cache.latency
+        if result.hit:
+            return HierarchyResponse(latency=latency, level=ServiceLevel.L2)
+        self.l2_misses += 1
+        latency += self.memory.access(self.system.l2_cache.block_size)
+        return HierarchyResponse(latency=latency, level=ServiceLevel.MEMORY)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses per L2 access."""
+        if self.l2_accesses == 0:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    def reset_statistics(self) -> None:
+        """Zero the hierarchy's counters without dropping cache contents."""
+        self.l2.stats.reset()
+        self.l2_accesses = 0
+        self.l2_misses = 0
+        self.memory.accesses = 0
+
+
+class InstructionMemoryPath:
+    """A convenience wrapper: an L1 i-cache in front of a shared hierarchy.
+
+    ``fetch`` returns the total fetch latency for one instruction address,
+    counting the L1 latency plus any miss servicing below it, and records
+    the L1/L2 statistics the energy model needs.
+    """
+
+    def __init__(
+        self,
+        l1_icache: Cache,
+        hierarchy: MemoryHierarchy,
+        l1_latency: Optional[int] = None,
+    ) -> None:
+        self.l1 = l1_icache
+        self.hierarchy = hierarchy
+        self.l1_latency = l1_latency if l1_latency is not None else l1_icache.geometry.latency
+
+    def fetch(self, address: int) -> int:
+        """Fetch the instruction at ``address``; returns the latency in cycles."""
+        result = self.l1.access(address)
+        latency = self.l1_latency
+        if not result.hit:
+            latency += self.hierarchy.access_from_l1_miss(address).latency
+        return latency
+
+    @property
+    def miss_rate(self) -> float:
+        """L1 i-cache miss rate observed so far."""
+        return self.l1.stats.miss_rate

@@ -1,0 +1,118 @@
+"""Replacement policies for set-associative caches.
+
+The paper's caches use LRU (Table 1 lists the L1 d-cache as "2-way
+(LRU)"); FIFO and random policies are provided for ablation studies.
+Each policy manages the victim choice within one cache set and is told
+about hits and fills so it can maintain its recency/ordering state.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+
+class ReplacementPolicy(abc.ABC):
+    """Victim selection state for one cache set of ``associativity`` ways."""
+
+    def __init__(self, associativity: int) -> None:
+        if associativity < 1:
+            raise ValueError("associativity must be at least 1")
+        self.associativity = associativity
+
+    @abc.abstractmethod
+    def touch(self, way: int) -> None:
+        """Record a hit on ``way``."""
+
+    @abc.abstractmethod
+    def fill(self, way: int) -> None:
+        """Record that ``way`` was just filled with a new block."""
+
+    @abc.abstractmethod
+    def victim(self) -> int:
+        """Return the way to evict next."""
+
+    def reset(self) -> None:
+        """Forget all recency state (used when a set is re-enabled)."""
+        self.__init__(self.associativity)  # type: ignore[misc]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used replacement.
+
+    The recency order is a list of way indices from most- to
+    least-recently used.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._order: List[int] = list(range(associativity))
+
+    def touch(self, way: int) -> None:
+        order = self._order
+        order.remove(way)
+        order.insert(0, way)
+
+    def fill(self, way: int) -> None:
+        self.touch(way)
+
+    def victim(self) -> int:
+        return self._order[-1]
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out replacement: hits do not update the order."""
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._next = 0
+
+    def touch(self, way: int) -> None:
+        """Hits do not affect FIFO order."""
+
+    def fill(self, way: int) -> None:
+        self._next = (way + 1) % self.associativity
+
+    def victim(self) -> int:
+        return self._next
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Pseudo-random replacement using a small linear-congruential generator.
+
+    A private LCG keeps the policy deterministic for a given seed, which
+    keeps simulations reproducible without touching Python's global
+    random state.
+    """
+
+    def __init__(self, associativity: int, seed: int = 12345) -> None:
+        super().__init__(associativity)
+        self._state = seed & 0x7FFFFFFF or 1
+
+    def touch(self, way: int) -> None:
+        """Hits do not affect random replacement."""
+
+    def fill(self, way: int) -> None:
+        """Fills do not affect random replacement."""
+
+    def victim(self) -> int:
+        self._state = (1103515245 * self._state + 12345) & 0x7FFFFFFF
+        return self._state % self.associativity
+
+
+POLICY_FACTORIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, associativity: int) -> ReplacementPolicy:
+    """Create a replacement policy by name ("lru", "fifo", or "random")."""
+    try:
+        factory = POLICY_FACTORIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; expected one of {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory(associativity)

@@ -1,0 +1,57 @@
+"""Simulation harness: simulator, parameter sweeps, and experiment drivers."""
+
+from repro.simulation.experiments import (
+    DEFAULT_SCALE,
+    QUICK_SCALE,
+    BenchmarkRow,
+    ExperimentScale,
+    Figure3Result,
+    SensitivityResult,
+    StaticVersusDynamicRow,
+    figure3_experiment,
+    figure4_experiment,
+    figure5_experiment,
+    figure6_experiment,
+    section521_ratios,
+    section56_divisibility_experiment,
+    section56_interval_experiment,
+    static_versus_dynamic_experiment,
+    table2_experiment,
+    throttle_ablation_experiment,
+)
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import (
+    DEFAULT_MISS_BOUNDS,
+    DEFAULT_SIZE_BOUNDS,
+    ParameterSweep,
+    SweepPoint,
+    SweepResult,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "QUICK_SCALE",
+    "BenchmarkRow",
+    "ExperimentScale",
+    "Figure3Result",
+    "SensitivityResult",
+    "StaticVersusDynamicRow",
+    "static_versus_dynamic_experiment",
+    "throttle_ablation_experiment",
+    "figure3_experiment",
+    "figure4_experiment",
+    "figure5_experiment",
+    "figure6_experiment",
+    "section521_ratios",
+    "section56_divisibility_experiment",
+    "section56_interval_experiment",
+    "table2_experiment",
+    "SimulationResult",
+    "Simulator",
+    "DEFAULT_MISS_BOUNDS",
+    "DEFAULT_SIZE_BOUNDS",
+    "ParameterSweep",
+    "SweepPoint",
+    "SweepResult",
+]

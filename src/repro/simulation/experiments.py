@@ -1,0 +1,482 @@
+"""Drivers for every experiment in the paper's evaluation (Section 5).
+
+Each function reproduces the data behind one table, figure, or sensitivity
+discussion:
+
+=====================  =====================================================
+Function               Paper artefact
+=====================  =====================================================
+``table2_experiment``  Table 2 — gated-Vdd circuit trade-offs
+``section521_ratios``  Section 5.2.1 — dynamic-vs-leakage energy ratios
+``figure3_experiment`` Figure 3 — base energy-delay and average cache size
+``figure4_experiment`` Figure 4 — miss-bound sensitivity (0.5x / 1x / 2x)
+``figure5_experiment`` Figure 5 — size-bound sensitivity (2x / 1x / 0.5x)
+``figure6_experiment`` Figure 6 — 64K 4-way vs 64K DM vs 128K DM
+``section56_interval`` Section 5.6 — sense-interval length robustness
+``section56_divisibility`` Section 5.6 — divisibility 2 / 4 / 8
+=====================  =====================================================
+
+All drivers return plain data structures (dataclasses of dictionaries and
+lists) so the benchmark harness can print the same rows/series the paper
+reports and the tests can assert on the trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.gated_vdd import table2_summary
+from repro.config.parameters import DRIParameters
+from repro.config.system import DEFAULT_SYSTEM, SystemConfig
+from repro.energy.model import EnergyModel
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import (
+    DEFAULT_MISS_BOUNDS,
+    DEFAULT_SIZE_BOUNDS,
+    ParameterSweep,
+    SweepPoint,
+)
+from repro.workloads.spec95 import benchmark_names
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Simulation scale shared by the architectural experiments.
+
+    The paper uses one-million-instruction sense intervals over complete
+    SPEC95 runs; this reproduction scales both down proportionally (see
+    DESIGN.md) so the full evaluation runs on a laptop.  ``QUICK`` is for
+    tests and examples, ``DEFAULT`` for the benchmark harness.
+    """
+
+    trace_instructions: int = 600_000
+    sense_interval: int = 12_500
+    seed: int = 2001
+    miss_bounds: Sequence[int] = DEFAULT_MISS_BOUNDS
+    size_bounds: Sequence[int] = DEFAULT_SIZE_BOUNDS
+
+    def base_parameters(self) -> DRIParameters:
+        """DRI parameters with this scale's sense interval."""
+        return DRIParameters(sense_interval=self.sense_interval)
+
+
+DEFAULT_SCALE = ExperimentScale()
+QUICK_SCALE = ExperimentScale(
+    trace_instructions=160_000,
+    sense_interval=5_000,
+    miss_bounds=(10, 60, 200),
+    size_bounds=(1024, 8192, 65536),
+)
+
+
+def _make_sweep(
+    scale: ExperimentScale, system: SystemConfig = DEFAULT_SYSTEM
+) -> ParameterSweep:
+    simulator = Simulator(
+        system=system, trace_instructions=scale.trace_instructions, seed=scale.seed
+    )
+    return ParameterSweep(
+        simulator=simulator,
+        energy_model=EnergyModel(),
+        base_parameters=scale.base_parameters(),
+    )
+
+
+@dataclass
+class BenchmarkRow:
+    """One benchmark's entry in a figure: the quantities the paper plots."""
+
+    benchmark: str
+    relative_energy_delay: float
+    leakage_component: float
+    dynamic_component: float
+    average_size_fraction: float
+    slowdown_percent: float
+    miss_rate: float
+    parameters: Optional[DRIParameters] = None
+
+    @classmethod
+    def from_point(cls, point: SweepPoint) -> "BenchmarkRow":
+        summary = point.comparison.summary()
+        return cls(
+            benchmark=summary["benchmark"],
+            relative_energy_delay=summary["relative_energy_delay"],
+            leakage_component=summary["leakage_component"],
+            dynamic_component=summary["dynamic_component"],
+            average_size_fraction=summary["average_size_fraction"],
+            slowdown_percent=summary["slowdown_percent"],
+            miss_rate=summary["dri_miss_rate"],
+            parameters=point.parameters,
+        )
+
+
+# ----------------------------------------------------------------------
+# Table 2 and Section 5.2.1
+# ----------------------------------------------------------------------
+def table2_experiment() -> Dict[str, Dict[str, float]]:
+    """Reproduce Table 2 from the circuit models."""
+    return table2_summary()
+
+
+def section521_ratios(model: Optional[EnergyModel] = None) -> Dict[str, float]:
+    """Reproduce the Section 5.2.1 energy-ratio sanity checks."""
+    if model is None:
+        model = EnergyModel()
+    return {
+        "l1_dynamic_to_leakage": model.l1_dynamic_to_leakage_ratio(
+            resizing_bits=5, active_fraction=0.5
+        ),
+        "l2_dynamic_to_leakage": model.l2_dynamic_to_leakage_ratio(
+            extra_miss_rate=0.01, active_fraction=0.5
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 3: base energy-delay and average size
+# ----------------------------------------------------------------------
+@dataclass
+class Figure3Result:
+    """Both panels of Figure 3 for every benchmark."""
+
+    constrained: List[BenchmarkRow] = field(default_factory=list)
+    unconstrained: List[BenchmarkRow] = field(default_factory=list)
+
+    def row(self, benchmark: str, constrained: bool = True) -> BenchmarkRow:
+        rows = self.constrained if constrained else self.unconstrained
+        for row in rows:
+            if row.benchmark == benchmark:
+                return row
+        raise KeyError(benchmark)
+
+    def mean_energy_delay_reduction(self, constrained: bool = True) -> float:
+        """Average (1 - relative energy-delay) across benchmarks."""
+        rows = self.constrained if constrained else self.unconstrained
+        if not rows:
+            return 0.0
+        return sum(1.0 - row.relative_energy_delay for row in rows) / len(rows)
+
+    def mean_size_reduction(self, constrained: bool = True) -> float:
+        """Average (1 - average size fraction) across benchmarks."""
+        rows = self.constrained if constrained else self.unconstrained
+        if not rows:
+            return 0.0
+        return sum(1.0 - row.average_size_fraction for row in rows) / len(rows)
+
+
+def figure3_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    system: SystemConfig = DEFAULT_SYSTEM,
+    sweep: Optional[ParameterSweep] = None,
+) -> Figure3Result:
+    """Best-case constrained and unconstrained energy-delay per benchmark."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if sweep is None:
+        sweep = _make_sweep(scale, system)
+    result = Figure3Result()
+    for name in benchmarks:
+        grid = sweep.grid(name, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds)
+        constrained = grid.best(constrained=True)
+        unconstrained = grid.best(constrained=False)
+        if constrained is not None:
+            result.constrained.append(BenchmarkRow.from_point(constrained))
+        if unconstrained is not None:
+            result.unconstrained.append(BenchmarkRow.from_point(unconstrained))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figures 4 and 5: miss-bound and size-bound sensitivity
+# ----------------------------------------------------------------------
+@dataclass
+class SensitivityResult:
+    """Energy-delay rows per benchmark for each variation of one parameter."""
+
+    variations: List[str] = field(default_factory=list)
+    rows: Dict[str, Dict[str, BenchmarkRow]] = field(default_factory=dict)
+
+    def add(self, benchmark: str, variation: str, row: BenchmarkRow) -> None:
+        self.rows.setdefault(benchmark, {})[variation] = row
+        if variation not in self.variations:
+            self.variations.append(variation)
+
+    def row(self, benchmark: str, variation: str) -> BenchmarkRow:
+        return self.rows[benchmark][variation]
+
+
+def _base_parameters_for(
+    sweep: ParameterSweep,
+    scale: ExperimentScale,
+    name: str,
+    base_parameters: Optional[Dict[str, DRIParameters]],
+) -> DRIParameters:
+    """The base (Figure 3 constrained) parameters for one benchmark.
+
+    Experiments that vary a single knob all start from the constrained base
+    configuration; callers that already ran the Figure 3 search can pass it
+    in via ``base_parameters`` to avoid repeating the grid search.
+    """
+    if base_parameters is not None and name in base_parameters:
+        return base_parameters[name]
+    found, _ = sweep.best_configuration(
+        name,
+        constrained=True,
+        miss_bounds=scale.miss_bounds,
+        size_bounds=scale.size_bounds,
+    )
+    return found
+
+
+def _sensitivity(
+    benchmarks: Sequence[str],
+    scale: ExperimentScale,
+    system: SystemConfig,
+    variations: Dict[str, float],
+    vary: str,
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> SensitivityResult:
+    """Shared driver for Figures 4 and 5."""
+    if sweep is None:
+        sweep = _make_sweep(scale, system)
+    result = SensitivityResult()
+    for name in benchmarks:
+        base_params = _base_parameters_for(sweep, scale, name, base_parameters)
+        for label, factor in variations.items():
+            if vary == "miss_bound":
+                params = base_params.scaled_miss_bound(factor)
+            else:
+                params = base_params.scaled_size_bound(factor)
+                if params.size_bound > system.l1_icache.size_bytes:
+                    params = replace(params, size_bound=system.l1_icache.size_bytes)
+            point = sweep.evaluate(name, params)
+            result.add(name, label, BenchmarkRow.from_point(point))
+    return result
+
+
+def figure4_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    system: SystemConfig = DEFAULT_SYSTEM,
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> SensitivityResult:
+    """Vary the miss-bound to 0.5x, 1x, and 2x of the base configuration."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    variations = {"0.5x": 0.5, "base": 1.0, "2x": 2.0}
+    return _sensitivity(
+        benchmarks,
+        scale,
+        system,
+        variations,
+        vary="miss_bound",
+        sweep=sweep,
+        base_parameters=base_parameters,
+    )
+
+
+def figure5_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    system: SystemConfig = DEFAULT_SYSTEM,
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> SensitivityResult:
+    """Vary the size-bound to 2x, 1x, and 0.5x of the base configuration."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    variations = {"2x": 2.0, "base": 1.0, "0.5x": 0.5}
+    return _sensitivity(
+        benchmarks,
+        scale,
+        system,
+        variations,
+        vary="size_bound",
+        sweep=sweep,
+        base_parameters=base_parameters,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: conventional cache parameters
+# ----------------------------------------------------------------------
+def figure6_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> SensitivityResult:
+    """Compare 64K 4-way, 64K direct-mapped, and 128K direct-mapped DRI caches.
+
+    As in the paper, each configuration is normalised to a *conventional*
+    cache of the same size and associativity, the DRI parameters are the
+    64K direct-mapped base ones, and the 128K cache uses one extra
+    resizing bit so its size-bound matches the 64K cache's.
+    """
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    configurations = {
+        "64K-4way": DEFAULT_SYSTEM.with_icache(64 * 1024, associativity=4),
+        "64K-DM": DEFAULT_SYSTEM.with_icache(64 * 1024, associativity=1),
+        "128K-DM": DEFAULT_SYSTEM.with_icache(128 * 1024, associativity=1),
+    }
+    base_sweep = _make_sweep(scale, configurations["64K-DM"])
+    resolved_parameters: Dict[str, DRIParameters] = {}
+    for name in benchmarks:
+        resolved_parameters[name] = _base_parameters_for(base_sweep, scale, name, base_parameters)
+
+    result = SensitivityResult()
+    for label, system in configurations.items():
+        sweep = _make_sweep(scale, system)
+        scaled_constants = sweep.energy_model.constants.scaled_to_size(
+            system.l1_icache.size_bytes
+        )
+        sweep.energy_model = EnergyModel(constants=scaled_constants)
+        for name in benchmarks:
+            point = sweep.evaluate(name, resolved_parameters[name])
+            result.add(name, label, BenchmarkRow.from_point(point))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Ablations (beyond the paper's figures, motivated by its design choices)
+# ----------------------------------------------------------------------
+@dataclass
+class StaticVersusDynamicRow:
+    """One benchmark's comparison of best-static sizing against the DRI i-cache."""
+
+    benchmark: str
+    static_size_bytes: int
+    static_energy_delay: float
+    static_slowdown_percent: float
+    dynamic_energy_delay: float
+    dynamic_slowdown_percent: float
+
+    @property
+    def dynamic_advantage(self) -> float:
+        """How much lower the DRI energy-delay is than the best static one."""
+        return self.static_energy_delay - self.dynamic_energy_delay
+
+
+def static_versus_dynamic_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> List[StaticVersusDynamicRow]:
+    """Compare the DRI i-cache against the best *statically* resized cache.
+
+    A static cache picks one size per application at design/compile time
+    (in the spirit of the statically reconfigurable caches in the related
+    work, [1] and [21]); the DRI i-cache adapts within the execution.  For
+    single-phase applications the two should be close; for phased
+    applications (class 3) no single static size matches the dynamic
+    scheme, which is the paper's motivation for resizing dynamically.
+    """
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if sweep is None:
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM)
+    rows = []
+    for name in benchmarks:
+        params = _base_parameters_for(sweep, scale, name, base_parameters)
+        dynamic_point = sweep.evaluate(name, params)
+        static_size, static_result = sweep.best_static_size(
+            name, sizes=scale.size_bounds, constrained=True
+        )
+        rows.append(
+            StaticVersusDynamicRow(
+                benchmark=name,
+                static_size_bytes=static_size,
+                static_energy_delay=static_result.relative_energy_delay,
+                static_slowdown_percent=static_result.slowdown * 100.0,
+                dynamic_energy_delay=dynamic_point.comparison.relative_energy_delay,
+                dynamic_slowdown_percent=dynamic_point.comparison.slowdown * 100.0,
+            )
+        )
+    return rows
+
+
+def throttle_ablation_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> SensitivityResult:
+    """Measure the effect of the oscillation throttle (Section 2.1).
+
+    Runs each benchmark's base configuration with the throttle enabled
+    (the paper's 3-bit counter, ten-interval hold) and disabled (hold of
+    zero intervals).  Without the throttle, applications whose required
+    size falls between two DRI sizes keep bouncing, paying the resizing
+    misses every other interval.
+    """
+    from repro.config.parameters import ThrottleConfig
+
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if sweep is None:
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM)
+    result = SensitivityResult()
+    for name in benchmarks:
+        params = _base_parameters_for(sweep, scale, name, base_parameters)
+        with_throttle = params
+        without_throttle = replace(
+            params, throttle=ThrottleConfig(counter_bits=3, hold_intervals=0)
+        )
+        result.add(name, "throttle", BenchmarkRow.from_point(sweep.evaluate(name, with_throttle)))
+        result.add(
+            name, "no-throttle", BenchmarkRow.from_point(sweep.evaluate(name, without_throttle))
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Section 5.6: sense-interval length and divisibility
+# ----------------------------------------------------------------------
+def section56_interval_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    interval_factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> SensitivityResult:
+    """Vary the sense-interval length around the base configuration."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if sweep is None:
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM)
+    result = SensitivityResult()
+    for name in benchmarks:
+        base_params = _base_parameters_for(sweep, scale, name, base_parameters)
+        for factor in interval_factors:
+            interval = max(1000, int(round(scale.sense_interval * factor)))
+            params = base_params.with_interval(interval)
+            point = sweep.evaluate(name, params)
+            result.add(name, f"{factor}x", BenchmarkRow.from_point(point))
+    return result
+
+
+def section56_divisibility_experiment(
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    divisibilities: Sequence[int] = (2, 4, 8),
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+) -> SensitivityResult:
+    """Vary the divisibility (resizing granularity) around the base configuration."""
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if sweep is None:
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM)
+    result = SensitivityResult()
+    for name in benchmarks:
+        base_params = _base_parameters_for(sweep, scale, name, base_parameters)
+        for divisibility in divisibilities:
+            params = base_params.with_divisibility(divisibility)
+            point = sweep.evaluate(name, params)
+            result.add(name, f"div{divisibility}", BenchmarkRow.from_point(point))
+    return result

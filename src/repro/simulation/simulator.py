@@ -1,0 +1,216 @@
+"""Trace-driven simulation of conventional and DRI i-caches.
+
+:class:`Simulator` runs one benchmark's instruction-fetch trace through an
+L1 i-cache (conventional :class:`~repro.memory.cache.Cache` or
+:class:`~repro.dri.dri_cache.DRIICache`) backed by the Table 1 L2/memory
+hierarchy, accounts execution time with the out-of-order timing model, and
+returns a :class:`~repro.simulation.results.SimulationResult`.
+
+The simulator caches generated traces so a parameter sweep replays exactly
+the same reference stream for every configuration of a benchmark — the
+same methodology as the paper's (one SimpleScalar binary/input per
+benchmark, many cache configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Tuple, Union
+
+from repro.config.parameters import DRIParameters
+from repro.config.system import DEFAULT_SYSTEM, SystemConfig
+from repro.cpu.pipeline import TimingModel
+from repro.dri.dri_cache import DRIICache
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.simulation.results import SimulationResult
+from repro.workloads.generator import generate_trace
+from repro.workloads.phases import WorkloadSpec
+from repro.workloads.spec95 import get_benchmark
+from repro.workloads.trace import InstructionTrace
+
+WorkloadLike = Union[str, WorkloadSpec, InstructionTrace]
+
+
+class Simulator:
+    """Runs benchmarks against i-cache configurations.
+
+    Parameters
+    ----------
+    system:
+        The simulated system (Table 1 defaults).
+    trace_instructions:
+        Dynamic instruction count of generated traces.
+    seed:
+        Trace-generation seed (all configurations of one benchmark share
+        the same trace).
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig = DEFAULT_SYSTEM,
+        trace_instructions: int = 600_000,
+        seed: int = 2001,
+    ) -> None:
+        if trace_instructions < 1:
+            raise ValueError("trace_instructions must be positive")
+        self.system = system
+        self.trace_instructions = trace_instructions
+        self.seed = seed
+        self._trace_cache: Dict[Tuple[str, int, int], InstructionTrace] = {}
+
+    # ------------------------------------------------------------------
+    # Workload handling
+    # ------------------------------------------------------------------
+    def resolve_workload(self, workload: WorkloadLike) -> Tuple[InstructionTrace, float]:
+        """Return the (trace, base CPI) pair for a workload argument.
+
+        ``workload`` may be a benchmark name, a :class:`WorkloadSpec`, or a
+        pre-generated :class:`InstructionTrace` (base CPI then defaults to
+        the registry value if the trace's name matches a benchmark, else a
+        generic 0.75).
+        """
+        if isinstance(workload, InstructionTrace):
+            base_cpi = 0.75
+            try:
+                base_cpi = get_benchmark(workload.name).base_cpi
+            except KeyError:
+                pass
+            return workload, base_cpi
+        spec = get_benchmark(workload) if isinstance(workload, str) else workload
+        key = (spec.name, self.trace_instructions, self.seed)
+        trace = self._trace_cache.get(key)
+        if trace is None:
+            trace = generate_trace(
+                spec, total_instructions=self.trace_instructions, seed=self.seed
+            )
+            self._trace_cache[key] = trace
+        return trace, spec.base_cpi
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def run_conventional(self, workload: WorkloadLike) -> SimulationResult:
+        """Simulate the conventional (fixed-size) i-cache baseline."""
+        trace, base_cpi = self.resolve_workload(workload)
+        icache = Cache(self.system.l1_icache, name="L1I")
+        hierarchy = MemoryHierarchy(self.system)
+        cycles = self._run_trace(trace, icache, hierarchy, base_cpi, dri=None)
+        return SimulationResult(
+            benchmark=trace.name,
+            cache_kind="conventional",
+            instructions=trace.num_instructions,
+            cycles=cycles,
+            l1_accesses=icache.stats.accesses,
+            l1_misses=icache.stats.misses,
+            l2_accesses=hierarchy.l2_accesses,
+            l2_misses=hierarchy.l2_misses,
+        )
+
+    def run_fixed_size(
+        self,
+        workload: WorkloadLike,
+        size_bytes: int,
+        associativity: int | None = None,
+    ) -> SimulationResult:
+        """Simulate a statically resized i-cache of ``size_bytes``.
+
+        This is the "design-time" alternative to the DRI i-cache: a cache
+        permanently built (or permanently gated) at a smaller size, with no
+        adaptation.  It is used by the static-versus-dynamic ablation
+        (DESIGN.md): for phased applications no single static size can
+        match the DRI i-cache, which is the paper's core motivation for
+        resizing *dynamically*.
+        """
+        trace, base_cpi = self.resolve_workload(workload)
+        geometry = self.system.l1_icache
+        fixed_geometry = replace(
+            geometry,
+            size_bytes=size_bytes,
+            associativity=associativity if associativity is not None else geometry.associativity,
+        )
+        icache = Cache(fixed_geometry, name=f"L1I-{size_bytes // 1024}K")
+        hierarchy = MemoryHierarchy(self.system)
+        cycles = self._run_trace(trace, icache, hierarchy, base_cpi, dri=None)
+        return SimulationResult(
+            benchmark=trace.name,
+            cache_kind="conventional",
+            instructions=trace.num_instructions,
+            cycles=cycles,
+            l1_accesses=icache.stats.accesses,
+            l1_misses=icache.stats.misses,
+            l2_accesses=hierarchy.l2_accesses,
+            l2_misses=hierarchy.l2_misses,
+        )
+
+    def run_dri(self, workload: WorkloadLike, parameters: DRIParameters) -> SimulationResult:
+        """Simulate the DRI i-cache with the given adaptivity parameters."""
+        trace, base_cpi = self.resolve_workload(workload)
+        icache = DRIICache(
+            self.system.l1_icache,
+            parameters,
+            address_bits=self.system.address_bits,
+            auto_interval=False,
+        )
+        hierarchy = MemoryHierarchy(self.system)
+        cycles = self._run_trace(trace, icache, hierarchy, base_cpi, dri=parameters)
+        icache.finalize()
+        return SimulationResult(
+            benchmark=trace.name,
+            cache_kind="dri",
+            instructions=trace.num_instructions,
+            cycles=cycles,
+            l1_accesses=icache.stats.accesses,
+            l1_misses=icache.stats.misses,
+            l2_accesses=hierarchy.l2_accesses,
+            l2_misses=hierarchy.l2_misses,
+            dri_stats=icache.dri_stats,
+            resizing_tag_bits=icache.resizing_tag_bits,
+        )
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _run_trace(
+        self,
+        trace: InstructionTrace,
+        icache: Cache,
+        hierarchy: MemoryHierarchy,
+        base_cpi: float,
+        dri: Optional[DRIParameters],
+    ) -> int:
+        """Replay ``trace`` through ``icache``; returns the cycle count."""
+        timing = TimingModel(pipeline=self.system.pipeline, base_cpi=base_cpi)
+        l2_latency = self.system.l1_miss_penalty
+        memory_latency = l2_latency + self.system.l2_miss_penalty
+        instructions_per_line = trace.instructions_per_line
+
+        interval_accesses = 0
+        if dri is not None:
+            interval_accesses = max(1, dri.sense_interval // instructions_per_line)
+
+        access = icache.access
+        miss_l2 = 0
+        miss_memory = 0
+        since_interval = 0
+        dri_cache = icache if isinstance(icache, DRIICache) else None
+
+        for address in trace.addresses():
+            if not access(address).hit:
+                response = hierarchy.access_from_l1_miss(address)
+                if response.latency > l2_latency:
+                    miss_memory += 1
+                else:
+                    miss_l2 += 1
+            if dri_cache is not None:
+                since_interval += 1
+                if since_interval >= interval_accesses:
+                    dri_cache.end_interval(
+                        instructions=since_interval * instructions_per_line
+                    )
+                    since_interval = 0
+
+        timing.account_instructions(trace.num_instructions)
+        timing.account_fetch_misses(l2_latency, miss_l2)
+        timing.account_fetch_misses(memory_latency, miss_memory)
+        return timing.cycles

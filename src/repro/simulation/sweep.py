@@ -1,0 +1,244 @@
+"""Parameter sweeps and the best-case energy-delay search.
+
+The paper determines each benchmark's miss-bound and size-bound
+empirically, "searching the combination space" for the best energy-delay
+product (Section 5.3), under two regimes:
+
+* **performance-constrained** — among configurations whose slowdown
+  relative to the conventional i-cache is at most 4%, pick the lowest
+  energy-delay product;
+* **performance-unconstrained** — pick the lowest energy-delay product
+  regardless of slowdown.
+
+:class:`ParameterSweep` runs a grid of (miss-bound, size-bound) pairs for
+one benchmark against a shared conventional baseline, producing a
+:class:`SweepResult` from which either regime's best configuration can be
+selected.  Figures 4 and 5 reuse the same machinery with fixed parameter
+scalings instead of a search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.parameters import DRIParameters
+from repro.energy.comparison import PERFORMANCE_CONSTRAINT, ComparisonResult, compare_runs
+from repro.energy.model import EnergyModel
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import Simulator, WorkloadLike
+
+DEFAULT_MISS_BOUNDS = (10, 30, 80, 200)
+"""Default miss-bound grid (misses per sense interval)."""
+
+DEFAULT_SIZE_BOUNDS = (1024, 4096, 16384, 65536)
+"""Default size-bound grid (bytes)."""
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameters, simulation, comparison) triple of a sweep."""
+
+    parameters: DRIParameters
+    simulation: SimulationResult
+    comparison: ComparisonResult
+
+    @property
+    def energy_delay(self) -> float:
+        """Relative energy-delay product of this configuration."""
+        return self.comparison.relative_energy_delay
+
+    @property
+    def meets_constraint(self) -> bool:
+        """True if the slowdown is within the 4% bound."""
+        return self.comparison.meets_performance_constraint
+
+
+@dataclass
+class SweepResult:
+    """All evaluated configurations of one benchmark plus its baseline."""
+
+    benchmark: str
+    conventional: SimulationResult
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def best(self, constrained: bool = True) -> Optional[SweepPoint]:
+        """The lowest-energy-delay point, optionally requiring <=4% slowdown.
+
+        Falls back to the full-size (never-downsizing) behaviour being
+        unattainable: if no point meets the constraint, the least-slow
+        point is returned so callers always get something comparable to
+        the paper's "disallow downsizing" handling of fpppp.
+        """
+        candidates = self.points
+        if not candidates:
+            return None
+        if constrained:
+            meeting = [point for point in candidates if point.meets_constraint]
+            if meeting:
+                candidates = meeting
+            else:
+                slow = min(point.comparison.slowdown for point in candidates)
+                candidates = [
+                    point for point in candidates if point.comparison.slowdown <= slow + 1e-12
+                ]
+        return min(candidates, key=lambda point: point.energy_delay)
+
+    def by_parameters(self, miss_bound: int, size_bound: int) -> Optional[SweepPoint]:
+        """Look up the point with exactly these bounds, if it was evaluated."""
+        for point in self.points:
+            if (
+                point.parameters.miss_bound == miss_bound
+                and point.parameters.size_bound == size_bound
+            ):
+                return point
+        return None
+
+
+class ParameterSweep:
+    """Evaluates DRI parameter grids for benchmarks over a shared simulator."""
+
+    def __init__(
+        self,
+        simulator: Optional[Simulator] = None,
+        energy_model: Optional[EnergyModel] = None,
+        base_parameters: DRIParameters = DRIParameters(),
+    ) -> None:
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.energy_model = energy_model if energy_model is not None else EnergyModel()
+        self.base_parameters = base_parameters
+        self._conventional_cache: Dict[str, SimulationResult] = {}
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+    def conventional_baseline(self, workload: WorkloadLike) -> SimulationResult:
+        """Run (or reuse) the conventional i-cache baseline for a workload."""
+        trace, _ = self.simulator.resolve_workload(workload)
+        cached = self._conventional_cache.get(trace.name)
+        if cached is None:
+            cached = self.simulator.run_conventional(workload)
+            self._conventional_cache[trace.name] = cached
+        return cached
+
+    def evaluate(self, workload: WorkloadLike, parameters: DRIParameters) -> SweepPoint:
+        """Simulate one DRI configuration and compare it with the baseline."""
+        conventional = self.conventional_baseline(workload)
+        dri_result = self.simulator.run_dri(workload, parameters)
+        comparison = compare_runs(
+            benchmark=dri_result.benchmark,
+            dri_stats=dri_result.run_statistics(conventional),
+            conventional_stats=_conventional_run_statistics(conventional),
+            average_size_fraction=dri_result.average_size_fraction,
+            dri_miss_rate=dri_result.miss_rate_per_instruction,
+            conventional_miss_rate=conventional.miss_rate_per_instruction,
+            model=self.energy_model,
+        )
+        return SweepPoint(parameters=parameters, simulation=dri_result, comparison=comparison)
+
+    def evaluate_static(self, workload: WorkloadLike, size_bytes: int) -> ComparisonResult:
+        """Evaluate a *statically* resized i-cache of ``size_bytes``.
+
+        The static cache is the design-time alternative to dynamic
+        resizing: it is permanently gated down to ``size_bytes``, so its
+        active fraction is fixed and it stores no resizing tag bits.  The
+        comparison baseline is the same full-size conventional i-cache the
+        DRI evaluations use, which makes the static and dynamic numbers
+        directly comparable (the static-versus-dynamic ablation).
+        """
+        full_size = self.simulator.system.l1_icache.size_bytes
+        if not 0 < size_bytes <= full_size:
+            raise ValueError(f"static size must be in (0, {full_size}]")
+        conventional = self.conventional_baseline(workload)
+        static = self.simulator.run_fixed_size(workload, size_bytes)
+        extra_l2 = max(0, static.l2_accesses - conventional.l2_accesses)
+        from repro.energy.model import RunStatistics
+
+        stats = RunStatistics(
+            cycles=static.cycles,
+            l1_accesses=static.instructions,
+            active_fraction=size_bytes / full_size,
+            resizing_tag_bits=0,
+            extra_l2_accesses=extra_l2,
+            execution_time_cycles=static.cycles,
+        )
+        return compare_runs(
+            benchmark=static.benchmark,
+            dri_stats=stats,
+            conventional_stats=_conventional_run_statistics(conventional),
+            average_size_fraction=size_bytes / full_size,
+            dri_miss_rate=static.miss_rate_per_instruction,
+            conventional_miss_rate=conventional.miss_rate_per_instruction,
+            model=self.energy_model,
+        )
+
+    def best_static_size(
+        self,
+        workload: WorkloadLike,
+        sizes: Sequence[int] = DEFAULT_SIZE_BOUNDS,
+        constrained: bool = True,
+    ) -> Tuple[int, ComparisonResult]:
+        """The static size with the best energy-delay (optionally <=4% slowdown).
+
+        The full size is always included as a candidate so a constrained
+        search can never come up empty.
+        """
+        full_size = self.simulator.system.l1_icache.size_bytes
+        candidates = sorted({size for size in sizes if size <= full_size} | {full_size})
+        results = [(size, self.evaluate_static(workload, size)) for size in candidates]
+        if constrained:
+            meeting = [entry for entry in results if entry[1].meets_performance_constraint]
+            if meeting:
+                results = meeting
+        return min(results, key=lambda entry: entry[1].relative_energy_delay)
+
+    # ------------------------------------------------------------------
+    # Grid sweep / search
+    # ------------------------------------------------------------------
+    def grid(
+        self,
+        workload: WorkloadLike,
+        miss_bounds: Sequence[int] = DEFAULT_MISS_BOUNDS,
+        size_bounds: Sequence[int] = DEFAULT_SIZE_BOUNDS,
+    ) -> SweepResult:
+        """Evaluate every (miss-bound, size-bound) pair in the grid."""
+        conventional = self.conventional_baseline(workload)
+        result = SweepResult(benchmark=conventional.benchmark, conventional=conventional)
+        full_size = self.simulator.system.l1_icache.size_bytes
+        for size_bound in size_bounds:
+            if size_bound > full_size:
+                continue
+            for miss_bound in miss_bounds:
+                parameters = replace(
+                    self.base_parameters, miss_bound=miss_bound, size_bound=size_bound
+                )
+                result.points.append(self.evaluate(workload, parameters))
+        return result
+
+    def best_configuration(
+        self,
+        workload: WorkloadLike,
+        constrained: bool = True,
+        miss_bounds: Sequence[int] = DEFAULT_MISS_BOUNDS,
+        size_bounds: Sequence[int] = DEFAULT_SIZE_BOUNDS,
+    ) -> Tuple[DRIParameters, SweepPoint]:
+        """Search the grid and return the best parameters and their point."""
+        sweep = self.grid(workload, miss_bounds=miss_bounds, size_bounds=size_bounds)
+        best = sweep.best(constrained=constrained)
+        if best is None:
+            raise RuntimeError(f"no configurations evaluated for {sweep.benchmark}")
+        return best.parameters, best
+
+
+def _conventional_run_statistics(result: SimulationResult):
+    """RunStatistics for a conventional run (only its delay is consumed)."""
+    from repro.energy.model import RunStatistics
+
+    return RunStatistics(
+        cycles=result.cycles,
+        l1_accesses=result.instructions,
+        active_fraction=1.0,
+        resizing_tag_bits=0,
+        extra_l2_accesses=0,
+        execution_time_cycles=result.cycles,
+    )

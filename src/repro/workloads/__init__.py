@@ -1,0 +1,30 @@
+"""Synthetic SPEC95-like workloads: phase models, trace generation, and the registry."""
+
+from repro.workloads.generator import generate_trace
+from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
+from repro.workloads.spec95 import (
+    all_benchmarks,
+    benchmark_names,
+    benchmarks_in_class,
+    get_benchmark,
+)
+from repro.workloads.trace import (
+    DEFAULT_INSTRUCTIONS_PER_LINE,
+    DEFAULT_LINE_SIZE,
+    InstructionTrace,
+)
+
+__all__ = [
+    "generate_trace",
+    "BenchmarkClass",
+    "LoopSpec",
+    "PhaseSpec",
+    "WorkloadSpec",
+    "all_benchmarks",
+    "benchmark_names",
+    "benchmarks_in_class",
+    "get_benchmark",
+    "DEFAULT_INSTRUCTIONS_PER_LINE",
+    "DEFAULT_LINE_SIZE",
+    "InstructionTrace",
+]

@@ -1,0 +1,159 @@
+"""Turn a :class:`~repro.workloads.phases.WorkloadSpec` into an instruction trace.
+
+The generator lays the workload's code out in a synthetic address space,
+then walks it the way the spec describes:
+
+* each phase occupies its own contiguous code region (phases of a real
+  program are different functions, so they occupy different addresses);
+* within a phase, execution repeatedly picks a loop according to the loop
+  weights and traverses its lines sequentially ``repeats`` times;
+* ``aliased`` loops are placed a multiple of the reference cache size away
+  from the phase base so they collide with the first loop in a
+  direct-mapped cache (conflict misses, Figure 6);
+* a ``scatter_rate`` fraction of fetches is redirected to random lines of
+  a large scatter region, producing the small background miss rate real
+  codes show even when their loops fit in the cache.
+
+Generation is deterministic for a given ``seed`` so every configuration of
+a sweep sees exactly the same reference stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List
+
+import numpy as np
+
+from repro.workloads.phases import PhaseSpec, WorkloadSpec
+from repro.workloads.trace import DEFAULT_INSTRUCTIONS_PER_LINE, DEFAULT_LINE_SIZE, InstructionTrace
+
+PHASE_REGION_SPACING = 1 << 24
+"""Address-space distance between successive phases' code regions (16 MB)."""
+
+CODE_BASE_ADDRESS = 0x0040_0000
+"""Base virtual address of the first phase's code (a typical text segment base)."""
+
+SCATTER_BASE_ADDRESS = 0x2000_0000
+"""Base virtual address of the scatter (cold code) region."""
+
+ALIAS_STRIDE_BYTES = 64 * 1024
+"""Aliased loops are placed this far from the phase base: equal to the
+reference (64K) cache size, so their lines share index bits with the
+phase's first loop in a direct-mapped cache of that size."""
+
+
+def _phase_line_budget(spec: WorkloadSpec, total_lines: int) -> List[int]:
+    """Number of trace lines each phase contributes, in order."""
+    budgets = [int(round(phase.duration_fraction * total_lines)) for phase in spec.phases]
+    # Fix rounding drift so the budgets sum exactly to total_lines.
+    drift = total_lines - sum(budgets)
+    budgets[-1] += drift
+    return budgets
+
+
+def _loop_layout(
+    phase: PhaseSpec, phase_base_line: int, line_size: int, rng: np.random.Generator
+) -> List[tuple]:
+    """Place the phase's loops in the address space.
+
+    Returns a list of ``(start_line, size_lines, repeats)`` tuples aligned
+    with ``phase.loops``.
+    """
+    footprint_lines = max(1, phase.footprint_bytes // line_size)
+    alias_stride_lines = ALIAS_STRIDE_BYTES // line_size
+    layout = []
+    for loop in phase.loops:
+        size_lines = max(1, int(round(loop.size_fraction * footprint_lines)))
+        max_start = max(0, footprint_lines - size_lines)
+        offset = int(rng.integers(0, max_start + 1)) if max_start > 0 else 0
+        start_line = phase_base_line + offset
+        if loop.aliased:
+            # Place the loop one reference-cache-size away but at the same
+            # offset, so its lines collide with the first loop's lines in a
+            # direct-mapped cache of the reference size.
+            start_line = phase_base_line + alias_stride_lines + offset
+        layout.append((start_line, size_lines, loop.repeats))
+    return layout
+
+
+def _generate_phase(
+    phase: PhaseSpec,
+    phase_index: int,
+    num_lines: int,
+    line_size: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate the line-address stream for one phase."""
+    if num_lines <= 0:
+        return np.empty(0, dtype=np.uint64)
+    phase_base_line = (CODE_BASE_ADDRESS + phase_index * PHASE_REGION_SPACING) // line_size
+    layout = _loop_layout(phase, phase_base_line, line_size, rng)
+    weights = np.asarray(phase.normalized_weights, dtype=np.float64)
+
+    chunks: List[np.ndarray] = []
+    emitted = 0
+    # Draw loop choices in batches to amortise RNG overhead.
+    while emitted < num_lines:
+        batch = rng.choice(len(layout), size=64, p=weights)
+        for loop_index in batch:
+            start_line, size_lines, repeats = layout[loop_index]
+            body = np.arange(start_line, start_line + size_lines, dtype=np.uint64)
+            visit = np.tile(body, repeats)
+            chunks.append(visit)
+            emitted += visit.shape[0]
+            if emitted >= num_lines:
+                break
+    lines = np.concatenate(chunks)[:num_lines]
+
+    if phase.scatter_rate > 0.0:
+        scatter_lines = max(1, phase.scatter_footprint_bytes // line_size)
+        scatter_base_line = (SCATTER_BASE_ADDRESS + phase_index * PHASE_REGION_SPACING) // line_size
+        mask = rng.random(num_lines) < phase.scatter_rate
+        count = int(mask.sum())
+        if count:
+            lines = lines.copy()
+            lines[mask] = scatter_base_line + rng.integers(
+                0, scatter_lines, size=count, dtype=np.uint64
+            )
+    return lines
+
+
+def generate_trace(
+    spec: WorkloadSpec,
+    total_instructions: int = 800_000,
+    seed: int = 2001,
+    line_size: int = DEFAULT_LINE_SIZE,
+    instructions_per_line: int = DEFAULT_INSTRUCTIONS_PER_LINE,
+) -> InstructionTrace:
+    """Generate the instruction-fetch trace for one benchmark run.
+
+    Parameters
+    ----------
+    spec:
+        The workload model.
+    total_instructions:
+        Dynamic instruction count of the run; the trace holds
+        ``total_instructions / instructions_per_line`` line fetches.
+    seed:
+        RNG seed; combined with the workload name so different benchmarks
+        get decorrelated streams while the same benchmark is reproducible.
+    """
+    if total_instructions < instructions_per_line:
+        raise ValueError("total_instructions must cover at least one line fetch")
+    total_lines = total_instructions // instructions_per_line
+    name_seed = zlib.crc32(spec.name.encode("utf-8"))
+    rng = np.random.default_rng((seed, name_seed))
+    budgets = _phase_line_budget(spec, total_lines)
+    pieces = [
+        _generate_phase(phase, index, budget, line_size, rng)
+        for index, (phase, budget) in enumerate(zip(spec.phases, budgets))
+    ]
+    line_indices = np.concatenate([piece for piece in pieces if piece.size])
+    addresses = line_indices * np.uint64(line_size)
+    return InstructionTrace(
+        name=spec.name,
+        line_addresses=addresses,
+        instructions_per_line=instructions_per_line,
+        line_size=line_size,
+    )

@@ -1,0 +1,169 @@
+"""Phase-structured workload models.
+
+The paper attributes the DRI i-cache's opportunity to the way programs
+execute in **phases**, each with its own instruction working set
+(Section 2): tight-loop codes need a couple of kilobytes, flat codes like
+fpppp need the whole 64K, and phased codes (gcc, hydro2d, ...) switch
+between large initialisation code and small compute loops.
+
+A workload is described by a :class:`WorkloadSpec` — a list of
+:class:`PhaseSpec` entries executed in order.  Each phase has a code
+footprint, a loop profile (how the phase's dynamic execution distributes
+over loops of different sizes), and a scatter component modelling
+irregular fetches (library calls, error paths) that produce the small
+non-zero miss rate real benchmarks show even in a 64K cache.
+
+The specs are purely declarative; :mod:`repro.workloads.generator` turns
+them into instruction traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Sequence
+
+
+class BenchmarkClass(Enum):
+    """The three benchmark classes of Section 5.3."""
+
+    SMALL_FOOTPRINT = 1
+    """Class 1: tight loops, tiny working set, downsizes to the size-bound."""
+
+    LARGE_FOOTPRINT = 2
+    """Class 2: large flat working set, little benefit from downsizing."""
+
+    PHASED = 3
+    """Class 3: distinct phases with different working-set sizes."""
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One loop (or loop nest) within a phase.
+
+    Attributes
+    ----------
+    size_fraction:
+        Fraction of the phase's footprint this loop's code covers.
+    weight:
+        Fraction of the phase's dynamic fetches spent in this loop.
+    repeats:
+        Consecutive traversals of the loop body per visit; larger values
+        mean fewer loop-to-loop transitions and therefore better locality.
+    aliased:
+        If true, the loop's code is placed at an address that conflicts
+        (same index bits) with the phase's first loop in a direct-mapped
+        cache of the full size — the source of the conflict misses that
+        make 4-way associativity attractive for some benchmarks (Figure 6).
+    """
+
+    size_fraction: float
+    weight: float
+    repeats: int = 4
+    aliased: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.size_fraction <= 1.0:
+            raise ValueError("size_fraction must be in (0, 1]")
+        if self.weight <= 0.0:
+            raise ValueError("weight must be positive")
+        if self.repeats < 1:
+            raise ValueError("repeats must be at least 1")
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One execution phase of a workload.
+
+    Attributes
+    ----------
+    name:
+        Label (e.g. ``"init"`` or ``"solve"``).
+    footprint_bytes:
+        Static code size executed during the phase.
+    duration_fraction:
+        Fraction of the workload's dynamic instructions spent in the phase.
+    loops:
+        Loop profile; weights are normalised internally.
+    scatter_rate:
+        Probability that a fetch goes to the scatter region instead of the
+        phase's loops (irregular control flow, library code).
+    scatter_footprint_bytes:
+        Size of the scatter region.  Large regions mostly miss, which is
+        what produces a small, size-independent background miss rate.
+    """
+
+    name: str
+    footprint_bytes: int
+    duration_fraction: float
+    loops: Sequence[LoopSpec] = field(
+        default_factory=lambda: (LoopSpec(size_fraction=1.0, weight=1.0),)
+    )
+    scatter_rate: float = 0.0
+    scatter_footprint_bytes: int = 512 * 1024
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes < 64:
+            raise ValueError("footprint must be at least one cache line")
+        if not 0.0 < self.duration_fraction <= 1.0:
+            raise ValueError("duration_fraction must be in (0, 1]")
+        if not self.loops:
+            raise ValueError("a phase needs at least one loop")
+        if not 0.0 <= self.scatter_rate < 1.0:
+            raise ValueError("scatter_rate must be in [0, 1)")
+        if self.scatter_footprint_bytes < 64:
+            raise ValueError("scatter region must be at least one cache line")
+
+    @property
+    def normalized_weights(self) -> List[float]:
+        """Loop weights normalised to sum to one."""
+        total = sum(loop.weight for loop in self.loops)
+        return [loop.weight / total for loop in self.loops]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete synthetic benchmark model.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (the SPEC95 program it stands in for).
+    benchmark_class:
+        Which of the paper's three classes the benchmark belongs to.
+    phases:
+        Phases executed in order; duration fractions must sum to ~1.
+    base_cpi:
+        Cycles per instruction of everything other than i-cache misses
+        (data misses, dependences, branch mispredictions), used by the
+        timing model.
+    description:
+        Short description of the behaviour being modelled.
+    """
+
+    name: str
+    benchmark_class: BenchmarkClass
+    phases: Sequence[PhaseSpec]
+    base_cpi: float = 0.75
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a workload needs at least one phase")
+        total = sum(phase.duration_fraction for phase in self.phases)
+        if not 0.99 <= total <= 1.01:
+            raise ValueError(
+                f"phase duration fractions must sum to 1 (got {total:.3f}) for {self.name}"
+            )
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+
+    @property
+    def max_footprint_bytes(self) -> int:
+        """The largest phase footprint (the benchmark's peak i-cache demand)."""
+        return max(phase.footprint_bytes for phase in self.phases)
+
+    @property
+    def min_footprint_bytes(self) -> int:
+        """The smallest phase footprint (the benchmark's trough demand)."""
+        return min(phase.footprint_bytes for phase in self.phases)

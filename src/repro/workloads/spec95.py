@@ -1,0 +1,361 @@
+"""Synthetic models of the SPEC95 benchmarks the paper simulates.
+
+The paper runs all of SPEC95 except two floating-point and one integer
+benchmark — fifteen programs in total — and sorts them into three classes
+by i-cache behaviour (Section 5.3):
+
+* **Class 1** (applu, compress, li, mgrid, swim): tight loops, tiny
+  instruction working sets; the DRI i-cache drops to the size-bound and
+  stays there.
+* **Class 2** (apsi, fpppp, go, m88ksim, perl): large, flat instruction
+  footprints; little room to downsize (fpppp needs the full 64K).
+* **Class 3** (gcc, hydro2d, ijpeg, su2cor, tomcatv): distinct phases with
+  different footprints; hydro2d and ijpeg have clean phase transitions
+  (big initialisation, then small loops) while gcc, su2cor, and tomcatv
+  transition less cleanly.
+
+Since SPEC95 binaries and reference inputs cannot be redistributed (and a
+pure-Python cycle simulator could not run them to completion anyway), each
+benchmark is modelled as a :class:`~repro.workloads.phases.WorkloadSpec`
+capturing the property that actually drives the DRI results: the
+instruction working-set size over time, the loop structure within phases,
+the background (scatter) miss rate, and whether the benchmark suffers
+direct-mapped conflict misses (Figure 6).  Footprints and phase structures
+follow the qualitative descriptions in Section 5.3 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
+
+KB = 1024
+
+
+def _tight_loop_phases(
+    footprint_kb: float, scatter_rate: float = 0.002
+) -> List[PhaseSpec]:
+    """A single phase of small, hot loops (class 1 benchmarks)."""
+    return [
+        PhaseSpec(
+            name="main-loops",
+            footprint_bytes=int(footprint_kb * KB),
+            duration_fraction=1.0,
+            loops=(
+                LoopSpec(size_fraction=0.20, weight=0.45, repeats=16),
+                LoopSpec(size_fraction=0.35, weight=0.35, repeats=8),
+                LoopSpec(size_fraction=0.60, weight=0.20, repeats=4),
+            ),
+            scatter_rate=scatter_rate,
+        )
+    ]
+
+
+def _flat_phases(
+    footprint_kb: float,
+    scatter_rate: float = 0.003,
+    aliased: bool = False,
+    repeats: int = 3,
+    hot_loop_weight: float = 0.40,
+) -> List[PhaseSpec]:
+    """A single phase with a large, flat footprint (class 2 benchmarks).
+
+    ``hot_loop_weight`` is the share of execution spent in the largest loop
+    (the one spanning most of the footprint); the interpreter-style class 2
+    benchmarks (m88ksim, perl, apsi) spend more of their time in smaller
+    dispatch loops, which is what lets them tolerate moderate downsizing.
+    """
+    remaining = 1.0 - hot_loop_weight
+    return [
+        PhaseSpec(
+            name="flat",
+            footprint_bytes=int(footprint_kb * KB),
+            duration_fraction=1.0,
+            loops=(
+                LoopSpec(size_fraction=0.70, weight=hot_loop_weight, repeats=repeats),
+                LoopSpec(size_fraction=0.45, weight=remaining * 0.45, repeats=repeats),
+                LoopSpec(size_fraction=0.30, weight=remaining * 0.35, repeats=repeats + 1),
+                LoopSpec(size_fraction=0.25, weight=remaining * 0.20, repeats=repeats, aliased=aliased),
+            ),
+            scatter_rate=scatter_rate,
+        )
+    ]
+
+
+def _phased(
+    init_kb: float,
+    init_fraction: float,
+    loop_kb: float,
+    scatter_rate: float = 0.003,
+    aliased: bool = False,
+) -> List[PhaseSpec]:
+    """A clean two-phase structure: large initialisation, then small loops."""
+    return [
+        PhaseSpec(
+            name="init",
+            footprint_bytes=int(init_kb * KB),
+            duration_fraction=init_fraction,
+            loops=(
+                LoopSpec(size_fraction=0.80, weight=0.60, repeats=2),
+                LoopSpec(size_fraction=0.40, weight=0.40, repeats=3, aliased=aliased),
+            ),
+            scatter_rate=scatter_rate,
+        ),
+        PhaseSpec(
+            name="compute",
+            footprint_bytes=int(loop_kb * KB),
+            duration_fraction=1.0 - init_fraction,
+            loops=(
+                LoopSpec(size_fraction=0.30, weight=0.50, repeats=16),
+                LoopSpec(size_fraction=0.55, weight=0.35, repeats=8),
+                LoopSpec(size_fraction=0.90, weight=0.15, repeats=4),
+            ),
+            scatter_rate=scatter_rate * 0.5,
+        ),
+    ]
+
+
+def _irregular_phases(
+    footprints_kb: List[float],
+    scatter_rate: float = 0.004,
+    aliased: bool = True,
+) -> List[PhaseSpec]:
+    """Many alternating phases without clean boundaries (gcc-style)."""
+    fraction = 1.0 / len(footprints_kb)
+    phases = []
+    for index, footprint_kb in enumerate(footprints_kb):
+        phases.append(
+            PhaseSpec(
+                name=f"region-{index}",
+                footprint_bytes=int(footprint_kb * KB),
+                duration_fraction=fraction,
+                loops=(
+                    LoopSpec(size_fraction=0.55, weight=0.40, repeats=3),
+                    LoopSpec(size_fraction=0.30, weight=0.35, repeats=4),
+                    LoopSpec(
+                        size_fraction=0.25,
+                        weight=0.25,
+                        repeats=3,
+                        aliased=aliased and index % 2 == 0,
+                    ),
+                ),
+                scatter_rate=scatter_rate,
+            )
+        )
+    return phases
+
+
+_BENCHMARKS: Dict[str, WorkloadSpec] = {}
+
+
+def _register(spec: WorkloadSpec) -> None:
+    _BENCHMARKS[spec.name] = spec
+
+
+# ----------------------------------------------------------------------
+# Class 1: small footprints, stay at the size-bound
+# ----------------------------------------------------------------------
+_register(
+    WorkloadSpec(
+        name="applu",
+        benchmark_class=BenchmarkClass.SMALL_FOOTPRINT,
+        phases=_tight_loop_phases(3.0, scatter_rate=0.001),
+        base_cpi=0.55,
+        description="Parabolic/elliptic PDE solver: small, hot inner loops.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="compress",
+        benchmark_class=BenchmarkClass.SMALL_FOOTPRINT,
+        phases=_tight_loop_phases(2.0, scatter_rate=0.001),
+        base_cpi=0.80,
+        description="LZW compression: one tiny compression loop.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="li",
+        benchmark_class=BenchmarkClass.SMALL_FOOTPRINT,
+        phases=_tight_loop_phases(4.0, scatter_rate=0.002),
+        base_cpi=0.85,
+        description="Lisp interpreter: small evaluator loop with some spread.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="mgrid",
+        benchmark_class=BenchmarkClass.SMALL_FOOTPRINT,
+        phases=_tight_loop_phases(2.5, scatter_rate=0.001),
+        base_cpi=0.50,
+        description="Multigrid solver: tiny stencil loops.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="swim",
+        benchmark_class=BenchmarkClass.SMALL_FOOTPRINT,
+        phases=[
+            PhaseSpec(
+                name="stencil-loops",
+                footprint_bytes=int(3.0 * KB),
+                duration_fraction=1.0,
+                loops=(
+                    LoopSpec(size_fraction=0.25, weight=0.45, repeats=16),
+                    LoopSpec(size_fraction=0.40, weight=0.35, repeats=8),
+                    LoopSpec(size_fraction=0.30, weight=0.20, repeats=8, aliased=True),
+                ),
+                scatter_rate=0.001,
+            )
+        ],
+        base_cpi=0.55,
+        description="Shallow-water stencils; two hot loops alias in a direct-mapped cache.",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Class 2: large flat footprints
+# ----------------------------------------------------------------------
+_register(
+    WorkloadSpec(
+        name="apsi",
+        benchmark_class=BenchmarkClass.LARGE_FOOTPRINT,
+        phases=_flat_phases(24.0, scatter_rate=0.002, hot_loop_weight=0.20),
+        base_cpi=0.65,
+        description="Pollutant-distribution model: large loop-nest footprint whose hot "
+        "loops cover only part of it, so moderate downsizing is tolerable.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="fpppp",
+        benchmark_class=BenchmarkClass.LARGE_FOOTPRINT,
+        phases=_flat_phases(60.0, scatter_rate=0.002, repeats=2),
+        base_cpi=0.60,
+        description="Gaussian quantum chemistry: needs essentially the full 64K i-cache.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="go",
+        benchmark_class=BenchmarkClass.LARGE_FOOTPRINT,
+        phases=_flat_phases(52.0, scatter_rate=0.005, aliased=True),
+        base_cpi=1.00,
+        description="Game playing: large, branchy footprint with conflict misses.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="m88ksim",
+        benchmark_class=BenchmarkClass.LARGE_FOOTPRINT,
+        phases=_flat_phases(22.0, scatter_rate=0.003),
+        base_cpi=0.90,
+        description="Microprocessor simulator: moderately large interpreter loop.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="perl",
+        benchmark_class=BenchmarkClass.LARGE_FOOTPRINT,
+        phases=_flat_phases(26.0, scatter_rate=0.007, hot_loop_weight=0.22),
+        base_cpi=0.95,
+        description="Perl interpreter: large dispatch loop plus scattered library code "
+        "(the highest conventional miss rate of the suite).",
+    )
+)
+
+# ----------------------------------------------------------------------
+# Class 3: phased behaviour
+# ----------------------------------------------------------------------
+_register(
+    WorkloadSpec(
+        name="gcc",
+        benchmark_class=BenchmarkClass.PHASED,
+        phases=_irregular_phases([36.0, 22.0, 44.0, 26.0, 52.0, 18.0], scatter_rate=0.004),
+        base_cpi=1.00,
+        description="Compiler: many passes with different footprints and unclear boundaries.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="hydro2d",
+        benchmark_class=BenchmarkClass.PHASED,
+        phases=_phased(init_kb=44.0, init_fraction=0.15, loop_kb=2.0, aliased=True),
+        base_cpi=0.60,
+        description="Navier-Stokes: full-size initialisation then 2K compute loops "
+        "with clean phase transitions.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="ijpeg",
+        benchmark_class=BenchmarkClass.PHASED,
+        phases=_phased(init_kb=30.0, init_fraction=0.10, loop_kb=2.0),
+        base_cpi=0.70,
+        description="JPEG compression: initialisation then small DCT/quantisation loops.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="su2cor",
+        benchmark_class=BenchmarkClass.PHASED,
+        phases=_irregular_phases([30.0, 8.0, 20.0, 14.0], scatter_rate=0.003),
+        base_cpi=0.60,
+        description="Quantum physics: phases of different sizes, boundaries not sharp.",
+    )
+)
+_register(
+    WorkloadSpec(
+        name="tomcatv",
+        benchmark_class=BenchmarkClass.PHASED,
+        phases=_irregular_phases([30.0, 14.0, 26.0, 18.0], scatter_rate=0.003),
+        base_cpi=0.55,
+        description="Mesh generation: alternating large/small phases with conflicts.",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Registry access
+# ----------------------------------------------------------------------
+def benchmark_names() -> List[str]:
+    """All benchmark names in the paper's presentation order (class 1, 2, 3)."""
+    order = [
+        "applu",
+        "compress",
+        "li",
+        "mgrid",
+        "swim",
+        "apsi",
+        "fpppp",
+        "go",
+        "m88ksim",
+        "perl",
+        "gcc",
+        "hydro2d",
+        "ijpeg",
+        "su2cor",
+        "tomcatv",
+    ]
+    return order
+
+
+def get_benchmark(name: str) -> WorkloadSpec:
+    """Look up one benchmark model by name."""
+    try:
+        return _BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(benchmark_names())}"
+        ) from None
+
+
+def all_benchmarks() -> List[WorkloadSpec]:
+    """All fifteen benchmark models in presentation order."""
+    return [get_benchmark(name) for name in benchmark_names()]
+
+
+def benchmarks_in_class(benchmark_class: BenchmarkClass) -> List[WorkloadSpec]:
+    """The benchmarks belonging to one of the paper's three classes."""
+    return [spec for spec in all_benchmarks() if spec.benchmark_class is benchmark_class]

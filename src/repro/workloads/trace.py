@@ -1,0 +1,148 @@
+"""Instruction-fetch traces.
+
+The DRI i-cache only observes the stream of instruction-fetch addresses,
+so a workload is represented as a trace of **cache-line fetch addresses**:
+each entry is the byte address of one i-cache line fetch and stands for a
+run of sequential instructions within that line.  Fetching at line
+granularity is what a real front end does (one i-cache access brings in a
+whole fetch block), and it is what keeps a pure-Python simulation fast
+enough to sweep all of the paper's configurations.
+
+Traces are numpy arrays so they can be generated vectorised, sliced for
+sampling, and saved/loaded with ``numpy.save``/``numpy.load``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Tuple
+
+import numpy as np
+
+DEFAULT_LINE_SIZE = 32
+DEFAULT_INSTRUCTIONS_PER_LINE = 8
+"""With 4-byte instructions a 32-byte line holds 8 instructions; a fetch
+run that stays within one line therefore represents 8 dynamic
+instructions on average."""
+
+
+@dataclass(frozen=True)
+class InstructionTrace:
+    """A sequence of i-cache line fetches for one benchmark run.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name the trace was generated from.
+    line_addresses:
+        Byte addresses of the fetched lines (uint64, line-aligned).
+    instructions_per_line:
+        Dynamic instructions represented by each line fetch.
+    line_size:
+        Cache-line size in bytes the addresses are aligned to.
+    """
+
+    name: str
+    line_addresses: np.ndarray
+    instructions_per_line: int = DEFAULT_INSTRUCTIONS_PER_LINE
+    line_size: int = DEFAULT_LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_line < 1:
+            raise ValueError("instructions_per_line must be at least 1")
+        if self.line_size < 4 or self.line_size & (self.line_size - 1):
+            raise ValueError("line_size must be a power of two >= 4")
+        addresses = np.asarray(self.line_addresses, dtype=np.uint64)
+        if addresses.ndim != 1:
+            raise ValueError("line_addresses must be a one-dimensional array")
+        object.__setattr__(self, "line_addresses", addresses)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.line_addresses.shape[0])
+
+    @property
+    def num_accesses(self) -> int:
+        """Number of i-cache accesses in the trace."""
+        return len(self)
+
+    @property
+    def num_instructions(self) -> int:
+        """Dynamic instructions the trace represents."""
+        return self.num_accesses * self.instructions_per_line
+
+    @property
+    def footprint_lines(self) -> int:
+        """Number of distinct lines touched (the static code footprint)."""
+        if len(self) == 0:
+            return 0
+        return int(np.unique(self.line_addresses).shape[0])
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Static code footprint in bytes."""
+        return self.footprint_lines * self.line_size
+
+    # ------------------------------------------------------------------
+    # Iteration and slicing
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.line_addresses.tolist())
+
+    def addresses(self) -> list:
+        """The line addresses as a plain Python list of ints (fast to iterate)."""
+        return self.line_addresses.tolist()
+
+    def prefix(self, num_instructions: int) -> "InstructionTrace":
+        """A trace containing only the first ``num_instructions`` instructions."""
+        if num_instructions < 0:
+            raise ValueError("num_instructions cannot be negative")
+        lines = (num_instructions + self.instructions_per_line - 1) // self.instructions_per_line
+        return InstructionTrace(
+            name=self.name,
+            line_addresses=self.line_addresses[:lines],
+            instructions_per_line=self.instructions_per_line,
+            line_size=self.line_size,
+        )
+
+    def split(self, pieces: int) -> Tuple["InstructionTrace", ...]:
+        """Split the trace into ``pieces`` roughly equal consecutive pieces."""
+        if pieces < 1:
+            raise ValueError("pieces must be at least 1")
+        chunks = np.array_split(self.line_addresses, pieces)
+        return tuple(
+            InstructionTrace(
+                name=f"{self.name}[{index}]",
+                line_addresses=chunk,
+                instructions_per_line=self.instructions_per_line,
+                line_size=self.line_size,
+            )
+            for index, chunk in enumerate(chunks)
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Save the trace to an ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            name=np.array(self.name),
+            line_addresses=self.line_addresses,
+            instructions_per_line=np.array(self.instructions_per_line),
+            line_size=np.array(self.line_size),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "InstructionTrace":
+        """Load a trace previously written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                name=str(data["name"]),
+                line_addresses=data["line_addresses"],
+                instructions_per_line=int(data["instructions_per_line"]),
+                line_size=int(data["line_size"]),
+            )

@@ -1,0 +1,95 @@
+"""Tests for the static-versus-dynamic and throttle ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import DRIParameters
+from repro.simulation.experiments import (
+    ExperimentScale,
+    static_versus_dynamic_experiment,
+    throttle_ablation_experiment,
+)
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+
+TINY_SCALE = ExperimentScale(
+    trace_instructions=80_000,
+    sense_interval=5_000,
+    miss_bounds=(10, 80),
+    size_bounds=(1024, 8192, 65536),
+)
+
+
+@pytest.fixture(scope="module")
+def sweep() -> ParameterSweep:
+    simulator = Simulator(trace_instructions=80_000, seed=3)
+    return ParameterSweep(simulator, base_parameters=DRIParameters(sense_interval=5_000))
+
+
+class TestStaticEvaluation:
+    def test_full_size_static_cache_matches_conventional(self, sweep):
+        result = sweep.evaluate_static("compress", 64 * 1024)
+        assert result.relative_energy_delay == pytest.approx(1.0, abs=1e-6)
+        assert result.slowdown == pytest.approx(0.0, abs=1e-9)
+
+    def test_small_static_cache_saves_energy_for_small_footprint(self, sweep):
+        result = sweep.evaluate_static("compress", 2048)
+        assert result.relative_energy_delay < 0.3
+        assert result.average_size_fraction == pytest.approx(2048 / 65536)
+
+    def test_tiny_static_cache_hurts_large_footprint(self, sweep):
+        small = sweep.evaluate_static("fpppp", 2048)
+        assert small.slowdown > 0.04
+
+    def test_rejects_out_of_range_size(self, sweep):
+        with pytest.raises(ValueError):
+            sweep.evaluate_static("compress", 128 * 1024)
+        with pytest.raises(ValueError):
+            sweep.evaluate_static("compress", 0)
+
+    def test_best_static_size_constrained(self, sweep):
+        size, result = sweep.best_static_size("fpppp", sizes=(1024, 8192, 65536))
+        assert size == 65536
+        assert result.meets_performance_constraint
+
+    def test_best_static_size_small_for_class1(self, sweep):
+        size, result = sweep.best_static_size("compress", sizes=(1024, 8192, 65536))
+        assert size <= 8192
+        assert result.relative_energy_delay < 0.5
+
+
+class TestStaticVersusDynamicExperiment:
+    def test_rows_cover_benchmarks(self):
+        rows = static_versus_dynamic_experiment(
+            benchmarks=("compress", "hydro2d"), scale=TINY_SCALE
+        )
+        assert {row.benchmark for row in rows} == {"compress", "hydro2d"}
+        for row in rows:
+            assert 0.0 < row.static_energy_delay <= 1.05
+            assert 0.0 < row.dynamic_energy_delay <= 1.05
+
+    def test_phased_benchmark_gains_from_dynamic_resizing(self):
+        rows = static_versus_dynamic_experiment(benchmarks=("hydro2d",), scale=TINY_SCALE)
+        row = rows[0]
+        # hydro2d needs a big cache early and a tiny one later: the DRI
+        # cache should at least match the best single static size.
+        assert row.dynamic_energy_delay <= row.static_energy_delay + 0.1
+
+
+class TestThrottleAblation:
+    def test_variations_present(self):
+        result = throttle_ablation_experiment(benchmarks=("apsi",), scale=TINY_SCALE)
+        assert set(result.variations) == {"throttle", "no-throttle"}
+
+    def test_throttle_never_much_worse(self):
+        result = throttle_ablation_experiment(
+            benchmarks=("apsi", "fpppp"), scale=TINY_SCALE
+        )
+        for name, variations in result.rows.items():
+            with_throttle = variations["throttle"]
+            without = variations["no-throttle"]
+            assert (
+                with_throttle.relative_energy_delay
+                <= without.relative_energy_delay + 0.15
+            ), name

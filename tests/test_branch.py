@@ -1,0 +1,123 @@
+"""Tests for the 2-level hybrid branch predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    HybridPredictor,
+    SaturatingCounter,
+)
+
+
+class TestSaturatingCounter:
+    def test_initialises_weakly(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.value == 2
+        assert counter.taken
+
+    def test_increments_saturate(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_decrements_saturate(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.decrement()
+        assert counter.value == 0
+        assert not counter.taken
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+
+class TestBimodal:
+    def test_learns_always_taken_branch(self):
+        predictor = BimodalPredictor(table_size=256)
+        pc = 0x400100
+        for _ in range(4):
+            predictor.update(pc, True)
+        assert predictor.predict(pc)
+
+    def test_learns_never_taken_branch(self):
+        predictor = BimodalPredictor(table_size=256)
+        pc = 0x400200
+        for _ in range(4):
+            predictor.update(pc, False)
+        assert not predictor.predict(pc)
+
+    def test_rejects_non_power_of_two_table(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(table_size=1000)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        """gshare can learn a strict taken/not-taken alternation via history."""
+        predictor = GsharePredictor(table_size=1024, history_bits=8)
+        pc = 0x400300
+        outcome = True
+        # Train long enough for the history-indexed counters to settle.
+        for _ in range(200):
+            predictor.update(pc, outcome)
+            outcome = not outcome
+        correct = 0
+        for _ in range(100):
+            if predictor.predict(pc) == outcome:
+                correct += 1
+            predictor.update(pc, outcome)
+            outcome = not outcome
+        assert correct > 90
+
+    def test_rejects_bad_history(self):
+        with pytest.raises(ValueError):
+            GsharePredictor(history_bits=0)
+
+
+class TestHybrid:
+    def test_high_accuracy_on_biased_branches(self):
+        predictor = HybridPredictor()
+        for index in range(2000):
+            pc = 0x400000 + (index % 16) * 4
+            taken = (index % 16) < 12  # each static branch is fully biased
+            predictor.predict_and_update(pc, taken)
+        assert predictor.stats.misprediction_rate < 0.05
+
+    def test_learns_history_pattern_better_than_bimodal_alone(self):
+        bimodal_only = BimodalPredictor()
+        hybrid = HybridPredictor()
+        pc = 0x400400
+        pattern = [True, True, False, False]
+        bimodal_correct = 0
+        hybrid_correct = 0
+        for index in range(2000):
+            outcome = pattern[index % len(pattern)]
+            if bimodal_only.predict(pc) == outcome:
+                bimodal_correct += 1
+            bimodal_only.update(pc, outcome)
+            if hybrid.predict_and_update(pc, outcome):
+                hybrid_correct += 1
+        assert hybrid_correct > bimodal_correct
+
+    def test_statistics_accumulate(self):
+        predictor = HybridPredictor()
+        for _ in range(50):
+            predictor.predict_and_update(0x1000, True)
+        assert predictor.stats.predictions == 50
+        assert 0.0 <= predictor.stats.misprediction_rate <= 1.0
+        assert predictor.stats.accuracy == pytest.approx(1.0 - predictor.stats.misprediction_rate)
+
+    def test_predict_without_update_is_pure(self):
+        predictor = HybridPredictor()
+        before = predictor.stats.predictions
+        predictor.predict(0x1000)
+        assert predictor.stats.predictions == before
+
+    def test_rejects_bad_chooser_size(self):
+        with pytest.raises(ValueError):
+            HybridPredictor(chooser_size=300)

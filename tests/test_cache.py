@@ -1,0 +1,155 @@
+"""Tests for the generic set-associative cache substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import CacheGeometry
+from repro.memory.cache import Cache
+
+
+def make_cache(size_bytes: int = 1024, block_size: int = 32, associativity: int = 1) -> Cache:
+    return Cache(CacheGeometry(size_bytes=size_bytes, block_size=block_size, associativity=associativity))
+
+
+class TestAddressDecomposition:
+    def test_block_address_strips_offset(self):
+        cache = make_cache()
+        assert cache.block_address(0x1234) == 0x1234 >> 5
+
+    def test_set_index_uses_low_block_bits(self):
+        cache = make_cache(size_bytes=1024, block_size=32)  # 32 sets
+        assert cache.num_sets == 32
+        assert cache.set_index(0x0) == 0
+        assert cache.set_index(32 * 5) == 5
+        assert cache.set_index(32 * 37) == 5  # wraps modulo 32 sets
+
+    def test_tag_excludes_index_and_offset(self):
+        cache = make_cache(size_bytes=1024, block_size=32)
+        address = (7 << (5 + 5)) | (3 << 5) | 9  # tag 7, set 3, offset 9
+        assert cache.tag_of(address) == 7
+        assert cache.set_index(address) == 3
+
+
+class TestHitsAndMisses:
+    def test_first_access_misses_then_hits(self):
+        cache = make_cache()
+        assert not cache.access(0x1000).hit
+        assert cache.access(0x1000).hit
+
+    def test_same_block_different_offsets_hit(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert cache.access(0x101F).hit  # same 32-byte block
+
+    def test_adjacent_block_misses(self):
+        cache = make_cache()
+        cache.access(0x1000)
+        assert not cache.access(0x1020).hit
+
+    def test_direct_mapped_conflict_eviction(self):
+        cache = make_cache(size_bytes=1024, block_size=32, associativity=1)
+        first = 0x0000
+        second = first + 1024  # same set, different tag
+        cache.access(first)
+        result = cache.access(second)
+        assert not result.hit
+        assert result.evicted_tag is not None
+        assert not cache.access(first).hit  # first was evicted
+
+    def test_two_way_holds_both_conflicting_blocks(self):
+        cache = make_cache(size_bytes=1024, block_size=32, associativity=2)
+        first = 0x0000
+        second = first + 512  # 16 sets of 2 ways: 512 bytes apart aliases
+        cache.access(first)
+        cache.access(second)
+        assert cache.access(first).hit
+        assert cache.access(second).hit
+
+    def test_lru_eviction_in_two_way(self):
+        cache = make_cache(size_bytes=1024, block_size=32, associativity=2)
+        stride = 512
+        a, b, c = 0x0, stride, 2 * stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a most recently used
+        cache.access(c)  # evicts b (LRU)
+        assert cache.access(a).hit
+        assert not cache.access(b).hit
+
+    def test_statistics_counts(self):
+        cache = make_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x20)
+        stats = cache.stats
+        assert stats.accesses == 3
+        assert stats.hits == 1
+        assert stats.misses == 2
+        assert stats.miss_rate == pytest.approx(2 / 3)
+        assert stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_miss_rate_zero_without_accesses(self):
+        assert make_cache().stats.miss_rate == 0.0
+
+    def test_contains_has_no_side_effects(self):
+        cache = make_cache()
+        cache.access(0x40)
+        before = cache.stats.accesses
+        assert cache.contains(0x40)
+        assert not cache.contains(0x80)
+        assert cache.stats.accesses == before
+
+
+class TestInvalidation:
+    def test_invalidate_set_drops_blocks(self):
+        cache = make_cache()
+        cache.access(0x0)
+        set_index = cache.set_index(0x0)
+        dropped = cache.invalidate_set(set_index)
+        assert dropped == 1
+        assert not cache.access(0x0).hit
+
+    def test_invalidate_empty_set_returns_zero(self):
+        cache = make_cache()
+        assert cache.invalidate_set(3) == 0
+
+    def test_invalidate_out_of_range_raises(self):
+        cache = make_cache()
+        with pytest.raises(IndexError):
+            cache.invalidate_set(cache.num_sets)
+
+    def test_flush_empties_cache(self):
+        cache = make_cache()
+        for block in range(10):
+            cache.access(block * 32)
+        assert cache.resident_blocks() == 10
+        dropped = cache.flush()
+        assert dropped == 10
+        assert cache.resident_blocks() == 0
+
+    def test_utilization(self):
+        cache = make_cache(size_bytes=1024, block_size=32)
+        assert cache.utilization() == 0.0
+        for block in range(16):
+            cache.access(block * 32)
+        assert cache.utilization() == pytest.approx(0.5)
+
+
+class TestCapacityInvariant:
+    def test_never_exceeds_capacity(self):
+        cache = make_cache(size_bytes=512, block_size=32, associativity=2)
+        for address in range(0, 64 * 1024, 32):
+            cache.access(address)
+        assert cache.resident_blocks() <= cache.geometry.num_blocks
+
+    def test_fills_to_capacity_with_distinct_blocks(self):
+        cache = make_cache(size_bytes=512, block_size=32, associativity=2)
+        for address in range(0, 512, 32):
+            cache.access(address)
+        assert cache.resident_blocks() == cache.geometry.num_blocks
+        # Re-accessing them all should produce no further misses.
+        misses_before = cache.stats.misses
+        for address in range(0, 512, 32):
+            assert cache.access(address).hit
+        assert cache.stats.misses == misses_before

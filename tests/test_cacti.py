@@ -1,0 +1,101 @@
+"""Tests for the CACTI-style cache geometry/energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.cacti import CactiModel, organize_array
+from repro.config.system import CacheGeometry, SystemConfig
+
+
+@pytest.fixture
+def icache_model() -> CactiModel:
+    return CactiModel(geometry=SystemConfig().l1_icache)
+
+
+@pytest.fixture
+def l2_model() -> CactiModel:
+    return CactiModel(geometry=SystemConfig().l2_cache)
+
+
+class TestOrganization:
+    def test_organize_small_array_single_subarray(self):
+        organization = organize_array(total_bits=1024 * 8, bits_per_row=64)
+        assert organization.subarrays == 1
+        assert organization.rows == 128
+
+    def test_organize_splits_tall_arrays(self):
+        organization = organize_array(total_bits=8 * 1024 * 1024, bits_per_row=1024)
+        assert organization.rows_per_subarray <= 1024
+        assert organization.rows == organization.rows_per_subarray * organization.subarrays
+
+    def test_organize_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            organize_array(total_bits=0, bits_per_row=8)
+
+    def test_data_array_row_per_set(self, icache_model):
+        organization = icache_model.data_array()
+        assert organization.rows == icache_model.geometry.num_sets
+
+    def test_tag_bits_include_valid_and_resizing(self):
+        model = CactiModel(geometry=SystemConfig().l1_icache, extra_tag_bits=6)
+        base = CactiModel(geometry=SystemConfig().l1_icache, extra_tag_bits=0)
+        assert model.tag_bits_per_frame() == base.tag_bits_per_frame() + 6
+
+
+class TestEnergies:
+    def test_resizing_bitline_energy_matches_paper_constant(self, icache_model):
+        # Section 5.2: 0.0022 nJ per resizing-tag bitline per access.
+        assert icache_model.bitline_energy_nj() == pytest.approx(0.0022, rel=0.3)
+
+    def test_l2_access_energy_in_paper_ballpark(self, l2_model):
+        # Section 5.2: 3.6 nJ per L2 access (Kamble & Ghose model).  The
+        # compact model lands within a factor of ~1.5.
+        energy = l2_model.read_access_energy_nj()
+        assert 1.8 < energy < 5.4
+
+    def test_l2_access_costs_more_than_l1(self, icache_model, l2_model):
+        assert l2_model.read_access_energy_nj() > icache_model.read_access_energy_nj()
+
+    def test_write_energy_exceeds_read_energy(self, icache_model):
+        assert icache_model.write_access_energy_nj() > icache_model.read_access_energy_nj()
+
+    def test_bitline_energy_grows_with_rows(self):
+        small = CactiModel(geometry=CacheGeometry(size_bytes=8 * 1024))
+        large = CactiModel(geometry=CacheGeometry(size_bytes=64 * 1024))
+        assert large.bitline_energy_nj(large.data_array()) >= small.bitline_energy_nj(
+            small.data_array()
+        )
+
+    def test_decoder_and_wordline_energies_positive(self, icache_model):
+        organization = icache_model.data_array()
+        assert icache_model.decoder_energy_nj(organization) > 0.0
+        assert icache_model.wordline_energy_nj(organization) > 0.0
+
+
+class TestLeakageAndArea:
+    def test_data_leakage_matches_sram_constant(self, icache_model):
+        # The 64K low-Vt data array leaks ~0.91 nJ per 1 ns cycle.
+        assert icache_model.data_leakage_energy_per_cycle_nj(1.0) == pytest.approx(0.91, rel=0.1)
+
+    def test_total_leakage_adds_tag_array(self, icache_model):
+        assert (
+            icache_model.total_leakage_energy_per_cycle_nj()
+            > icache_model.data_leakage_energy_per_cycle_nj()
+        )
+
+    def test_leakage_scales_with_cache_size(self):
+        small = CactiModel(geometry=CacheGeometry(size_bytes=32 * 1024))
+        large = CactiModel(geometry=CacheGeometry(size_bytes=128 * 1024))
+        assert large.data_leakage_energy_per_cycle_nj() == pytest.approx(
+            4.0 * small.data_leakage_energy_per_cycle_nj(), rel=1e-6
+        )
+
+    def test_area_positive_and_grows_with_size(self):
+        small = CactiModel(geometry=CacheGeometry(size_bytes=32 * 1024))
+        large = CactiModel(geometry=CacheGeometry(size_bytes=128 * 1024))
+        assert 0.0 < small.area_mm2() < large.area_mm2()
+
+    def test_rejects_negative_extra_tag_bits(self):
+        with pytest.raises(ValueError):
+            CactiModel(geometry=CacheGeometry(size_bytes=8 * 1024), extra_tag_bits=-1)

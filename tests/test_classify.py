@@ -1,0 +1,93 @@
+"""Tests for the automatic benchmark classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.classify import ClassificationEvidence, classify, summarize_trajectory
+from repro.config.parameters import DRIParameters
+from repro.dri.stats import DRIStatistics
+from repro.simulation.simulator import Simulator
+from repro.workloads.phases import BenchmarkClass
+
+FULL_SIZE = 64 * 1024
+
+
+def stats_with_sizes(size_instruction_pairs) -> DRIStatistics:
+    """Build DRIStatistics whose intervals spent time at the given sizes."""
+    stats = DRIStatistics(full_size_bytes=FULL_SIZE)
+    for size, instructions in size_instruction_pairs:
+        stats.record_interval(
+            instructions=instructions,
+            accesses=instructions // 8,
+            misses=0,
+            size_bytes_during=size,
+            size_bytes_at_end=size,
+            resized="none",
+        )
+    return stats
+
+
+class TestSummarize:
+    def test_empty_run_counts_as_fully_large(self):
+        evidence = summarize_trajectory(DRIStatistics(full_size_bytes=FULL_SIZE))
+        assert evidence.time_large == 1.0
+        assert evidence.average_size_fraction == 1.0
+
+    def test_fractions_sum_to_one(self):
+        stats = stats_with_sizes([(1024, 100), (64 * 1024, 100), (16 * 1024, 200)])
+        evidence = summarize_trajectory(stats)
+        assert evidence.time_small + evidence.time_large + evidence.time_medium == pytest.approx(1.0)
+
+    def test_evidence_validation(self):
+        with pytest.raises(ValueError):
+            ClassificationEvidence(
+                time_small=0.9, time_large=0.9, time_medium=0.0,
+                average_size_fraction=0.5, resizings=1,
+            )
+
+
+class TestClassifyRules:
+    def test_mostly_small_is_class1(self):
+        stats = stats_with_sizes([(1024, 900), (64 * 1024, 100)])
+        assert classify(stats) is BenchmarkClass.SMALL_FOOTPRINT
+
+    def test_mostly_large_is_class2(self):
+        stats = stats_with_sizes([(64 * 1024, 900), (1024, 100)])
+        assert classify(stats) is BenchmarkClass.LARGE_FOOTPRINT
+
+    def test_split_time_is_class3(self):
+        stats = stats_with_sizes([(64 * 1024, 500), (2048, 500)])
+        assert classify(stats) is BenchmarkClass.PHASED
+
+    def test_intermediate_sizes_are_class3(self):
+        stats = stats_with_sizes([(32 * 1024, 1000)])
+        assert classify(stats) is BenchmarkClass.PHASED
+
+
+class TestClassifySimulatedRuns:
+    """The synthetic workloads should be classified as the class they model."""
+
+    @pytest.fixture(scope="class")
+    def simulator(self) -> Simulator:
+        return Simulator(trace_instructions=160_000, seed=11)
+
+    def test_class1_benchmark_classified_small(self, simulator):
+        parameters = DRIParameters(miss_bound=60, size_bound=1024, sense_interval=5_000)
+        result = simulator.run_dri("compress", parameters)
+        assert classify(result.dri_stats) is BenchmarkClass.SMALL_FOOTPRINT
+
+    def test_class2_benchmark_classified_large(self, simulator):
+        # A conservative miss-bound (the kind the constrained search picks
+        # for fpppp) keeps the cache near its full size.
+        parameters = DRIParameters(miss_bound=15, size_bound=1024, sense_interval=5_000)
+        result = simulator.run_dri("fpppp", parameters)
+        assert classify(result.dri_stats) is BenchmarkClass.LARGE_FOOTPRINT
+
+    def test_phased_benchmark_not_classified_large(self, simulator):
+        parameters = DRIParameters(miss_bound=60, size_bound=2048, sense_interval=5_000)
+        result = simulator.run_dri("hydro2d", parameters)
+        assert classify(result.dri_stats) in (
+            BenchmarkClass.PHASED,
+            BenchmarkClass.SMALL_FOOTPRINT,
+        )

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_command_parses(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.command == "table2"
+
+    def test_figure_commands_accept_common_options(self):
+        args = build_parser().parse_args(
+            ["figure3", "--benchmarks", "compress,fpppp", "--quick", "--instructions", "50000"]
+        )
+        assert args.command == "figure3"
+        assert args.benchmarks == "compress,fpppp"
+        assert args.quick
+        assert args.instructions == 50000
+
+    def test_run_command_requires_known_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "vortex"])
+
+
+class TestCommands:
+    def test_table2_prints_columns(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "nmos_gated_vdd" in output
+        assert "Relative read time" in output
+
+    def test_ratios_prints_paper_targets(self, capsys):
+        assert main(["ratios"]) == 0
+        output = capsys.readouterr().out
+        assert "~0.024" in output
+        assert "~0.08" in output
+
+    def test_run_prints_summary(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "compress",
+                "--instructions",
+                "60000",
+                "--sense-interval",
+                "5000",
+                "--miss-bound",
+                "40",
+                "--size-bound",
+                "1024",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "relative_energy_delay" in output
+        assert "average_size_fraction" in output
+
+    def test_figure3_quick_subset(self, capsys):
+        exit_code = main(
+            ["figure3", "--benchmarks", "compress", "--quick", "--instructions", "60000"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "compress" in output
+        assert "Mean energy-delay reduction" in output
+
+    def test_unknown_benchmark_exits_with_message(self):
+        with pytest.raises(SystemExit):
+            main(["figure3", "--benchmarks", "nosuchbench", "--quick"])

@@ -1,0 +1,94 @@
+"""Tests for the DRI adaptivity parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import AGGRESSIVE, CONSERVATIVE, DRIParameters, ThrottleConfig
+
+
+class TestThrottleConfig:
+    def test_default_is_three_bit_counter_ten_interval_hold(self):
+        throttle = ThrottleConfig()
+        assert throttle.counter_bits == 3
+        assert throttle.hold_intervals == 10
+        assert throttle.saturation_value == 7
+
+    def test_saturation_value_scales_with_bits(self):
+        assert ThrottleConfig(counter_bits=2).saturation_value == 3
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            ThrottleConfig(counter_bits=0)
+
+    def test_rejects_negative_hold(self):
+        with pytest.raises(ValueError):
+            ThrottleConfig(hold_intervals=-1)
+
+
+class TestDRIParameters:
+    def test_defaults_are_valid(self):
+        params = DRIParameters()
+        assert params.size_bound == 1024
+        assert params.divisibility == 2
+        assert params.miss_rate_bound == pytest.approx(params.miss_bound / params.sense_interval)
+
+    def test_rejects_negative_miss_bound(self):
+        with pytest.raises(ValueError):
+            DRIParameters(miss_bound=-1)
+
+    def test_rejects_non_power_of_two_size_bound(self):
+        with pytest.raises(ValueError):
+            DRIParameters(size_bound=3000)
+
+    def test_rejects_bad_divisibility(self):
+        with pytest.raises(ValueError):
+            DRIParameters(divisibility=3)
+        with pytest.raises(ValueError):
+            DRIParameters(divisibility=1)
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(ValueError):
+            DRIParameters(sense_interval=0)
+
+    def test_scaled_miss_bound_half_and_double(self):
+        params = DRIParameters(miss_bound=100)
+        assert params.scaled_miss_bound(0.5).miss_bound == 50
+        assert params.scaled_miss_bound(2.0).miss_bound == 200
+
+    def test_scaled_miss_bound_never_below_one(self):
+        params = DRIParameters(miss_bound=1)
+        assert params.scaled_miss_bound(0.1).miss_bound == 1
+
+    def test_scaled_miss_bound_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            DRIParameters().scaled_miss_bound(0.0)
+
+    def test_scaled_size_bound_powers_of_two(self):
+        params = DRIParameters(size_bound=2048)
+        assert params.scaled_size_bound(2.0).size_bound == 4096
+        assert params.scaled_size_bound(0.5).size_bound == 1024
+
+    def test_scaled_size_bound_rounds_to_power_of_two(self):
+        params = DRIParameters(size_bound=2048)
+        # 3x would be 6144; the nearest powers of two are 4096 and 8192.
+        assert params.scaled_size_bound(3.0).size_bound in (4096, 8192)
+
+    def test_with_interval_preserves_miss_rate(self):
+        params = DRIParameters(miss_bound=100, sense_interval=10_000)
+        rescaled = params.with_interval(40_000)
+        assert rescaled.sense_interval == 40_000
+        assert rescaled.miss_bound == 400
+        assert rescaled.miss_rate_bound == pytest.approx(params.miss_rate_bound)
+
+    def test_with_divisibility(self):
+        assert DRIParameters().with_divisibility(4).divisibility == 4
+
+    def test_presets_are_ordered_by_aggressiveness(self):
+        assert AGGRESSIVE.miss_bound > CONSERVATIVE.miss_bound
+        assert AGGRESSIVE.size_bound < CONSERVATIVE.size_bound
+
+    def test_parameters_are_immutable(self):
+        params = DRIParameters()
+        with pytest.raises(AttributeError):
+            params.miss_bound = 10  # type: ignore[misc]

@@ -1,0 +1,139 @@
+"""Tests for the Table 1 system configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import (
+    DEFAULT_SYSTEM,
+    CacheGeometry,
+    MemoryTiming,
+    PipelineConfig,
+    SystemConfig,
+)
+
+
+class TestCacheGeometry:
+    def test_paper_icache_derived_quantities(self):
+        geometry = CacheGeometry(size_bytes=64 * 1024, block_size=32, associativity=1)
+        assert geometry.num_blocks == 2048
+        assert geometry.num_sets == 2048
+        assert geometry.offset_bits == 5
+        assert geometry.index_bits == 11
+        assert geometry.data_bits == 64 * 1024 * 8
+
+    def test_paper_icache_tag_bits(self):
+        geometry = CacheGeometry(size_bytes=64 * 1024, block_size=32, associativity=1)
+        # Section 2.1: a 64K direct-mapped cache uses 16 (regular) tag bits.
+        assert geometry.tag_bits(address_bits=32) == 16
+
+    def test_1k_cache_tag_bits(self):
+        geometry = CacheGeometry(size_bytes=1024, block_size=32, associativity=1)
+        # Section 2.2: a 1K cache maintains 22 tag bits.
+        assert geometry.tag_bits(address_bits=32) == 22
+
+    def test_set_associative_sets(self):
+        geometry = CacheGeometry(size_bytes=64 * 1024, block_size=32, associativity=4)
+        assert geometry.num_blocks == 2048
+        assert geometry.num_sets == 512
+        assert geometry.index_bits == 9
+
+    def test_l2_geometry(self):
+        geometry = DEFAULT_SYSTEM.l2_cache
+        assert geometry.size_bytes == 1024 * 1024
+        assert geometry.associativity == 4
+        assert geometry.latency == 12
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=48 * 1024)
+
+    def test_rejects_non_power_of_two_associativity(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=64 * 1024, associativity=3)
+
+    def test_rejects_block_larger_than_cache(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=64, block_size=128)
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, latency=0)
+
+    def test_rejects_associativity_above_blocks(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=64, block_size=32, associativity=4)
+
+    def test_scaled_doubles_capacity(self):
+        geometry = CacheGeometry(size_bytes=64 * 1024)
+        assert geometry.scaled(2).size_bytes == 128 * 1024
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=64 * 1024).scaled(0)
+
+
+class TestMemoryTiming:
+    def test_table1_block_latency(self):
+        timing = MemoryTiming()
+        # 80 cycles + 4 cycles per 8 bytes: a 32-byte block needs 4 chunks.
+        assert timing.access_latency(32) == 80 + 4 * 4
+
+    def test_partial_chunk_rounds_up(self):
+        timing = MemoryTiming()
+        assert timing.access_latency(9) == 80 + 4 * 2
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            MemoryTiming().access_latency(0)
+
+
+class TestPipelineConfig:
+    def test_table1_defaults(self):
+        pipeline = PipelineConfig()
+        assert pipeline.issue_width == 8
+        assert pipeline.reorder_buffer_size == 128
+        assert pipeline.lsq_size == 128
+        assert pipeline.frequency_hz == pytest.approx(1e9)
+
+    def test_cycle_time_is_one_ns_at_1ghz(self):
+        assert PipelineConfig().cycle_time_ns == pytest.approx(1.0)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(issue_width=0)
+
+    def test_rejects_ipc_above_width(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(issue_width=4, base_ipc=8.0)
+
+
+class TestSystemConfig:
+    def test_miss_penalties(self):
+        system = SystemConfig()
+        assert system.l1_miss_penalty == 12
+        assert system.l2_miss_penalty == 80 + 4 * 4
+
+    def test_describe_matches_table1_rows(self):
+        description = SystemConfig().describe()
+        assert description["Instruction issue & decode bandwidth"] == "8 issues per cycle"
+        assert "64K" in description["L1 i-cache / L1 DRI i-cache"]
+        assert "direct-mapped" in description["L1 i-cache / L1 DRI i-cache"]
+        assert "1M" in description["L2 cache"]
+        assert description["Reorder buffer size"] == "128"
+        assert description["Branch predictor"] == "2-level hybrid"
+
+    def test_with_icache_changes_only_icache(self):
+        system = SystemConfig().with_icache(128 * 1024, associativity=1)
+        assert system.l1_icache.size_bytes == 128 * 1024
+        assert system.l2_cache.size_bytes == 1024 * 1024
+        assert system.l1_dcache.size_bytes == 64 * 1024
+
+    def test_with_icache_associativity(self):
+        system = SystemConfig().with_icache(64 * 1024, associativity=4)
+        assert system.l1_icache.associativity == 4
+        assert system.l1_icache.num_sets == 512
+
+    def test_rejects_bad_address_bits(self):
+        with pytest.raises(ValueError):
+            SystemConfig(address_bits=8)

@@ -1,0 +1,151 @@
+"""Tests for the adaptive resizing controller (Figure 1 decision rule)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import DRIParameters, ThrottleConfig
+from repro.config.system import CacheGeometry
+from repro.dri.controller import ResizeController
+from repro.dri.mask import SizeMask
+from repro.dri.throttle import ResizeDecision
+
+
+def make_controller(
+    miss_bound: int = 100,
+    size_bound: int = 1024,
+    divisibility: int = 2,
+    size_bytes: int = 64 * 1024,
+    hold_intervals: int = 10,
+    counter_bits: int = 3,
+) -> ResizeController:
+    geometry = CacheGeometry(size_bytes=size_bytes, block_size=32, associativity=1)
+    parameters = DRIParameters(
+        miss_bound=miss_bound,
+        size_bound=size_bound,
+        divisibility=divisibility,
+        throttle=ThrottleConfig(counter_bits=counter_bits, hold_intervals=hold_intervals),
+    )
+    return ResizeController(parameters, SizeMask(geometry, size_bound))
+
+
+class TestDecisionRule:
+    def test_starts_at_full_size(self):
+        controller = make_controller()
+        assert controller.current_size == 64 * 1024
+        assert controller.at_maximum
+
+    def test_few_misses_downsizes(self):
+        controller = make_controller(miss_bound=100)
+        outcome = controller.end_of_interval(miss_count=10)
+        assert outcome.decision is ResizeDecision.DOWNSIZE
+        assert controller.current_size == 32 * 1024
+
+    def test_many_misses_upsizes(self):
+        controller = make_controller(miss_bound=100)
+        controller.force_size(8 * 1024)
+        outcome = controller.end_of_interval(miss_count=500)
+        assert outcome.decision is ResizeDecision.UPSIZE
+        assert controller.current_size == 16 * 1024
+
+    def test_exact_miss_bound_keeps_size(self):
+        controller = make_controller(miss_bound=100)
+        controller.force_size(8 * 1024)
+        outcome = controller.end_of_interval(miss_count=100)
+        assert outcome.decision is ResizeDecision.NONE
+        assert not outcome.changed
+
+    def test_cannot_upsize_past_full_size(self):
+        controller = make_controller(miss_bound=10)
+        outcome = controller.end_of_interval(miss_count=1000)
+        assert outcome.decision is ResizeDecision.NONE
+        assert controller.current_size == 64 * 1024
+
+    def test_cannot_downsize_past_size_bound(self):
+        controller = make_controller(miss_bound=1000, size_bound=4096)
+        for _ in range(10):
+            controller.end_of_interval(miss_count=0)
+        assert controller.current_size == 4096
+        assert controller.at_minimum
+
+    def test_divisibility_four_jumps_two_steps(self):
+        controller = make_controller(divisibility=4)
+        controller.end_of_interval(miss_count=0)
+        assert controller.current_size == 16 * 1024
+
+    def test_divisibility_clamps_to_size_bound(self):
+        controller = make_controller(divisibility=8, size_bound=16 * 1024)
+        controller.end_of_interval(miss_count=0)
+        assert controller.current_size == 16 * 1024
+
+    def test_rejects_negative_miss_count(self):
+        with pytest.raises(ValueError):
+            make_controller().end_of_interval(miss_count=-1)
+
+    def test_outcome_records_sizes(self):
+        controller = make_controller()
+        outcome = controller.end_of_interval(miss_count=0)
+        assert outcome.previous_size == 64 * 1024
+        assert outcome.new_size == 32 * 1024
+        assert outcome.changed
+
+
+class TestThrottleIntegration:
+    def test_oscillation_eventually_blocks_downsizing(self):
+        controller = make_controller(miss_bound=100, counter_bits=2, hold_intervals=5)
+        throttled_seen = False
+        # Alternate "fits" and "does not fit" interval outcomes to force
+        # bouncing between two adjacent sizes.
+        for _ in range(30):
+            at_size = controller.current_size
+            misses = 10 if at_size >= 64 * 1024 else 500
+            outcome = controller.end_of_interval(miss_count=misses)
+            throttled_seen = throttled_seen or outcome.throttled
+        assert throttled_seen
+
+    def test_hold_keeps_cache_at_larger_size(self):
+        controller = make_controller(miss_bound=100, counter_bits=1, hold_intervals=6)
+        # Force one full oscillation to engage the throttle quickly.
+        controller.end_of_interval(miss_count=0)    # downsize to 32K
+        controller.end_of_interval(miss_count=500)  # upsize back to 64K (reversal 1)
+        controller.end_of_interval(miss_count=0)    # downsize (reversal 2 -> saturates)
+        controller.end_of_interval(miss_count=500)  # upsize (engages or continues)
+        sizes = []
+        for _ in range(4):
+            outcome = controller.end_of_interval(miss_count=0)
+            sizes.append(controller.current_size)
+            if outcome.throttled:
+                break
+        assert any(size == 64 * 1024 for size in sizes) or controller.throttle.holding
+
+    def test_upsizing_allowed_during_hold(self):
+        controller = make_controller(miss_bound=100, counter_bits=1, hold_intervals=10)
+        # Engage the throttle.
+        controller.end_of_interval(miss_count=0)
+        controller.end_of_interval(miss_count=500)
+        controller.end_of_interval(miss_count=0)
+        controller.end_of_interval(miss_count=500)
+        controller.force_size(8 * 1024)
+        outcome = controller.end_of_interval(miss_count=10_000)
+        assert outcome.decision is ResizeDecision.UPSIZE
+
+
+class TestManualControl:
+    def test_force_size_validates(self):
+        controller = make_controller()
+        with pytest.raises(ValueError):
+            controller.force_size(512)
+        with pytest.raises(ValueError):
+            controller.force_size(48 * 1024)
+
+    def test_reset_returns_to_full_size(self):
+        controller = make_controller()
+        controller.end_of_interval(miss_count=0)
+        controller.reset()
+        assert controller.current_size == 64 * 1024
+
+    def test_mismatched_size_bound_rejected(self):
+        geometry = CacheGeometry(size_bytes=64 * 1024)
+        parameters = DRIParameters(size_bound=2048)
+        with pytest.raises(ValueError):
+            ResizeController(parameters, SizeMask(geometry, 1024))

@@ -1,0 +1,98 @@
+"""Tests for the processor core wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import DRIParameters
+from repro.config.system import SystemConfig
+from repro.cpu.core import ProcessorCore
+from repro.dri.dri_cache import DRIICache
+from repro.memory.cache import Cache
+
+
+@pytest.fixture
+def system() -> SystemConfig:
+    return SystemConfig()
+
+
+def make_core(system: SystemConfig, use_branch_predictor: bool = False) -> ProcessorCore:
+    return ProcessorCore(
+        system,
+        Cache(system.l1_icache, name="L1I"),
+        base_cpi=1.0,
+        use_branch_predictor=use_branch_predictor,
+    )
+
+
+class TestFetch:
+    def test_fetch_hit_and_miss(self, system):
+        core = make_core(system)
+        assert not core.fetch_line(0x1000, instructions=8)
+        assert core.fetch_line(0x1000, instructions=8)
+        assert core.instructions_executed == 16
+
+    def test_misses_drive_l2_accesses(self, system):
+        core = make_core(system)
+        core.fetch_line(0x1000, instructions=8)
+        core.fetch_line(0x2000, instructions=8)
+        result = core.result()
+        assert result.l1_misses == 2
+        assert result.l2_accesses == 2
+
+    def test_cycles_grow_with_misses(self, system):
+        hit_core = make_core(system)
+        miss_core = make_core(system)
+        for _ in range(100):
+            hit_core.fetch_line(0x1000, instructions=8)
+        for index in range(100):
+            miss_core.fetch_line(0x1000 + index * 4096, instructions=8)
+        assert miss_core.result().cycles > hit_core.result().cycles
+
+    def test_rejects_zero_instruction_fetch(self, system):
+        with pytest.raises(ValueError):
+            make_core(system).fetch_line(0x1000, instructions=0)
+
+    def test_result_ipc(self, system):
+        core = make_core(system)
+        for _ in range(10):
+            core.fetch_line(0x1000, instructions=8)
+        result = core.result()
+        assert result.ipc == pytest.approx(result.instructions / result.cycles)
+        assert 0.0 < result.l1_miss_rate <= 1.0
+
+
+class TestBranches:
+    def test_branch_without_predictor_raises(self, system):
+        with pytest.raises(RuntimeError):
+            make_core(system, use_branch_predictor=False).execute_branch(0x100, True)
+
+    def test_branch_with_predictor_counts_mispredictions(self, system):
+        core = make_core(system, use_branch_predictor=True)
+        for index in range(200):
+            core.execute_branch(0x400, taken=True)
+        result = core.result()
+        assert result.branch_mispredictions < 10
+
+    def test_mispredictions_add_cycles(self, system):
+        predicted = make_core(system, use_branch_predictor=True)
+        for _ in range(100):
+            predicted.execute_branch(0x400, taken=True)
+        baseline_cycles = predicted.result().cycles
+        # A core fed an adversarial random-looking pattern mispredicts more
+        # and therefore accumulates more cycles for the same branch count.
+        noisy = make_core(system, use_branch_predictor=True)
+        outcomes = [(index * 7919) % 3 == 0 for index in range(100)]
+        for outcome in outcomes:
+            noisy.execute_branch(0x400, taken=outcome)
+        assert noisy.result().cycles >= baseline_cycles
+
+
+class TestDRIIntegration:
+    def test_finalize_flushes_partial_interval(self, system):
+        parameters = DRIParameters(miss_bound=10, size_bound=1024, sense_interval=1_000_000)
+        dri = DRIICache(system.l1_icache, parameters, auto_interval=False)
+        core = ProcessorCore(system, dri, base_cpi=1.0)
+        core.fetch_line(0x1000, instructions=8)
+        core.finalize()
+        assert len(dri.dri_stats.intervals) == 1

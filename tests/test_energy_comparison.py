@@ -1,0 +1,157 @@
+"""Tests for the DRI-vs-conventional comparison (Figures 3-6 quantities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.comparison import PERFORMANCE_CONSTRAINT, compare_runs
+from repro.energy.model import EnergyModel, RunStatistics
+
+
+def make_stats(cycles: int, active_fraction: float, extra_l2: int = 0, bits: int = 6) -> RunStatistics:
+    return RunStatistics(
+        cycles=cycles,
+        l1_accesses=cycles,
+        active_fraction=active_fraction,
+        resizing_tag_bits=bits,
+        extra_l2_accesses=extra_l2,
+    )
+
+
+def conventional_stats(cycles: int) -> RunStatistics:
+    return RunStatistics(
+        cycles=cycles,
+        l1_accesses=cycles,
+        active_fraction=1.0,
+        resizing_tag_bits=0,
+        extra_l2_accesses=0,
+    )
+
+
+class TestComparison:
+    def test_slowdown_and_constraint(self):
+        result = compare_runs(
+            "bench",
+            make_stats(103_000, 0.5),
+            conventional_stats(100_000),
+            average_size_fraction=0.5,
+            dri_miss_rate=0.004,
+            conventional_miss_rate=0.002,
+        )
+        assert result.slowdown == pytest.approx(0.03)
+        assert result.meets_performance_constraint
+
+    def test_constraint_violated_above_four_percent(self):
+        result = compare_runs(
+            "bench",
+            make_stats(106_000, 0.5),
+            conventional_stats(100_000),
+            average_size_fraction=0.5,
+            dri_miss_rate=0.01,
+            conventional_miss_rate=0.002,
+        )
+        assert result.slowdown == pytest.approx(0.06)
+        assert not result.meets_performance_constraint
+
+    def test_constraint_threshold_is_four_percent(self):
+        assert PERFORMANCE_CONSTRAINT == pytest.approx(0.04)
+
+    def test_components_sum_to_relative_energy_delay(self):
+        result = compare_runs(
+            "bench",
+            make_stats(105_000, 0.4, extra_l2=500),
+            conventional_stats(100_000),
+            average_size_fraction=0.4,
+            dri_miss_rate=0.01,
+            conventional_miss_rate=0.005,
+        )
+        total = result.leakage_energy_delay_component + result.dynamic_energy_delay_component
+        assert total == pytest.approx(result.relative_energy_delay, rel=1e-9)
+
+    def test_halving_active_fraction_without_slowdown_halves_energy_delay(self):
+        small = compare_runs(
+            "bench",
+            make_stats(100_000, 0.25, bits=0),
+            conventional_stats(100_000),
+            average_size_fraction=0.25,
+            dri_miss_rate=0.001,
+            conventional_miss_rate=0.001,
+        )
+        large = compare_runs(
+            "bench",
+            make_stats(100_000, 0.5, bits=0),
+            conventional_stats(100_000),
+            average_size_fraction=0.5,
+            dri_miss_rate=0.001,
+            conventional_miss_rate=0.001,
+        )
+        assert small.relative_energy_delay == pytest.approx(0.5 * large.relative_energy_delay)
+
+    def test_energy_delay_reduction_complement(self):
+        result = compare_runs(
+            "bench",
+            make_stats(100_000, 0.3, bits=0),
+            conventional_stats(100_000),
+            average_size_fraction=0.3,
+            dri_miss_rate=0.001,
+            conventional_miss_rate=0.001,
+        )
+        assert result.energy_delay_reduction == pytest.approx(1.0 - result.relative_energy_delay)
+
+    def test_extra_miss_rate_clamped_at_zero(self):
+        result = compare_runs(
+            "bench",
+            make_stats(100_000, 0.5),
+            conventional_stats(100_000),
+            average_size_fraction=0.5,
+            dri_miss_rate=0.001,
+            conventional_miss_rate=0.002,
+        )
+        assert result.extra_miss_rate == 0.0
+
+    def test_summary_keys(self):
+        result = compare_runs(
+            "bench",
+            make_stats(100_000, 0.5),
+            conventional_stats(100_000),
+            average_size_fraction=0.5,
+            dri_miss_rate=0.004,
+            conventional_miss_rate=0.002,
+        )
+        summary = result.summary()
+        for key in (
+            "benchmark",
+            "relative_energy_delay",
+            "leakage_component",
+            "dynamic_component",
+            "average_size_fraction",
+            "slowdown_percent",
+            "meets_constraint",
+        ):
+            assert key in summary
+
+    def test_rejects_bad_size_fraction(self):
+        with pytest.raises(ValueError):
+            compare_runs(
+                "bench",
+                make_stats(100_000, 0.5),
+                conventional_stats(100_000),
+                average_size_fraction=1.5,
+                dri_miss_rate=0.0,
+                conventional_miss_rate=0.0,
+            )
+
+    def test_custom_energy_model_is_used(self):
+        from repro.energy.constants import EnergyConstants
+
+        cheap_l2 = EnergyModel(EnergyConstants(l2_access_nj=0.0))
+        with_extra = compare_runs(
+            "bench",
+            make_stats(100_000, 0.5, extra_l2=10_000),
+            conventional_stats(100_000),
+            average_size_fraction=0.5,
+            dri_miss_rate=0.01,
+            conventional_miss_rate=0.001,
+            model=cheap_l2,
+        )
+        assert with_extra.breakdown.extra_l2_dynamic_nj == 0.0

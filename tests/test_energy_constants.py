@@ -1,0 +1,77 @@
+"""Tests for the Section 5.2 energy constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.constants import (
+    PAPER_L1_LEAKAGE_NJ_PER_CYCLE,
+    PAPER_L2_ACCESS_NJ,
+    PAPER_RESIZING_BITLINE_NJ,
+    EnergyConstants,
+)
+
+
+class TestPaperConstants:
+    def test_paper_values(self):
+        constants = EnergyConstants.from_paper()
+        assert constants.l1_leakage_nj_per_cycle == pytest.approx(0.91)
+        assert constants.resizing_bitline_nj == pytest.approx(0.0022)
+        assert constants.l2_access_nj == pytest.approx(3.6)
+        assert constants.standby_leakage_fraction == 0.0
+
+    def test_module_level_constants_match(self):
+        assert PAPER_L1_LEAKAGE_NJ_PER_CYCLE == pytest.approx(0.91)
+        assert PAPER_RESIZING_BITLINE_NJ == pytest.approx(0.0022)
+        assert PAPER_L2_ACCESS_NJ == pytest.approx(3.6)
+
+
+class TestScaling:
+    def test_leakage_for_half_size(self):
+        constants = EnergyConstants()
+        assert constants.l1_leakage_for_size(32 * 1024) == pytest.approx(0.455)
+
+    def test_leakage_for_double_size(self):
+        constants = EnergyConstants()
+        assert constants.l1_leakage_for_size(128 * 1024) == pytest.approx(1.82)
+
+    def test_scaled_to_size_rebases(self):
+        scaled = EnergyConstants().scaled_to_size(128 * 1024)
+        assert scaled.l1_base_size_bytes == 128 * 1024
+        assert scaled.l1_leakage_nj_per_cycle == pytest.approx(1.82)
+        # Re-scaling back recovers the original constant.
+        assert scaled.l1_leakage_for_size(64 * 1024) == pytest.approx(0.91)
+
+    def test_leakage_for_size_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            EnergyConstants().l1_leakage_for_size(0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_leakage(self):
+        with pytest.raises(ValueError):
+            EnergyConstants(l1_leakage_nj_per_cycle=0.0)
+
+    def test_rejects_negative_dynamic_energy(self):
+        with pytest.raises(ValueError):
+            EnergyConstants(l2_access_nj=-1.0)
+
+    def test_rejects_standby_fraction_of_one(self):
+        with pytest.raises(ValueError):
+            EnergyConstants(standby_leakage_fraction=1.0)
+
+
+class TestFromCircuit:
+    def test_circuit_derived_constants_near_paper(self):
+        constants = EnergyConstants.from_circuit()
+        assert constants.l1_leakage_nj_per_cycle == pytest.approx(0.91, rel=0.15)
+        assert constants.resizing_bitline_nj == pytest.approx(0.0022, rel=0.4)
+        assert constants.l2_access_nj == pytest.approx(3.6, rel=0.6)
+
+    def test_circuit_derived_standby_residual_small(self):
+        constants = EnergyConstants.from_circuit(include_standby_residual=True)
+        assert 0.0 < constants.standby_leakage_fraction < 0.06
+
+    def test_circuit_derived_without_residual(self):
+        constants = EnergyConstants.from_circuit(include_standby_residual=False)
+        assert constants.standby_leakage_fraction == 0.0

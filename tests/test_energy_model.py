@@ -1,0 +1,159 @@
+"""Tests for the Section 5.2 energy accounting formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy.constants import EnergyConstants
+from repro.energy.model import EnergyBreakdown, EnergyModel, RunStatistics
+
+
+@pytest.fixture
+def model() -> EnergyModel:
+    return EnergyModel()
+
+
+@pytest.fixture
+def stats() -> RunStatistics:
+    return RunStatistics(
+        cycles=1_000_000,
+        l1_accesses=1_000_000,
+        active_fraction=0.5,
+        resizing_tag_bits=5,
+        extra_l2_accesses=10_000,
+    )
+
+
+class TestRunStatistics:
+    def test_delay_defaults_to_cycles(self):
+        stats = RunStatistics(
+            cycles=100, l1_accesses=100, active_fraction=1.0, resizing_tag_bits=0, extra_l2_accesses=0
+        )
+        assert stats.delay_cycles == 100
+
+    def test_explicit_delay_overrides(self):
+        stats = RunStatistics(
+            cycles=100,
+            l1_accesses=100,
+            active_fraction=1.0,
+            resizing_tag_bits=0,
+            extra_l2_accesses=0,
+            execution_time_cycles=150,
+        )
+        assert stats.delay_cycles == 150
+
+    def test_rejects_bad_active_fraction(self):
+        with pytest.raises(ValueError):
+            RunStatistics(
+                cycles=1, l1_accesses=1, active_fraction=1.5, resizing_tag_bits=0, extra_l2_accesses=0
+            )
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            RunStatistics(
+                cycles=-1, l1_accesses=1, active_fraction=1.0, resizing_tag_bits=0, extra_l2_accesses=0
+            )
+
+
+class TestFormulas:
+    def test_conventional_leakage(self, model):
+        # 0.91 nJ per cycle times the cycle count.
+        assert model.conventional_leakage_nj(1_000_000) == pytest.approx(910_000.0)
+
+    def test_conventional_leakage_other_size(self, model):
+        assert model.conventional_leakage_nj(1_000_000, size_bytes=32 * 1024) == pytest.approx(
+            455_000.0
+        )
+
+    def test_l1_leakage_uses_active_fraction(self, model, stats):
+        # active fraction x 0.91 x cycles = 0.5 * 0.91 * 1e6
+        assert model.l1_leakage_nj(stats) == pytest.approx(455_000.0)
+
+    def test_standby_residual_adds_leakage(self, stats):
+        residual_model = EnergyModel(EnergyConstants(standby_leakage_fraction=0.03))
+        base_model = EnergyModel()
+        assert residual_model.l1_leakage_nj(stats) > base_model.l1_leakage_nj(stats)
+
+    def test_extra_l1_dynamic(self, model, stats):
+        # resizing bits x 0.0022 x L1 accesses = 5 * 0.0022 * 1e6
+        assert model.extra_l1_dynamic_nj(stats) == pytest.approx(11_000.0)
+
+    def test_extra_l2_dynamic(self, model, stats):
+        # 3.6 nJ x extra L2 accesses = 3.6 * 1e4
+        assert model.extra_l2_dynamic_nj(stats) == pytest.approx(36_000.0)
+
+    def test_breakdown_sums_components(self, model, stats):
+        breakdown = model.breakdown(stats)
+        assert breakdown.effective_leakage_nj == pytest.approx(
+            breakdown.l1_leakage_nj + breakdown.extra_l1_dynamic_nj + breakdown.extra_l2_dynamic_nj
+        )
+
+    def test_breakdown_savings(self, model, stats):
+        breakdown = model.breakdown(stats)
+        assert breakdown.savings_nj == pytest.approx(910_000.0 - 502_000.0)
+        assert breakdown.savings_fraction == pytest.approx(1.0 - 502_000.0 / 910_000.0)
+        assert breakdown.relative_energy == pytest.approx(502_000.0 / 910_000.0)
+
+
+class TestSection521Ratios:
+    def test_l1_dynamic_ratio_matches_paper(self, model):
+        # Section 5.2.1: ~0.024 with 5 resizing bits and a 0.5 active fraction.
+        ratio = model.l1_dynamic_to_leakage_ratio(resizing_bits=5, active_fraction=0.5)
+        assert ratio == pytest.approx(0.024, abs=0.002)
+
+    def test_l2_dynamic_ratio_matches_paper(self, model):
+        # Section 5.2.1: ~0.08 with a 1% extra miss rate and 0.5 active fraction.
+        ratio = model.l2_dynamic_to_leakage_ratio(extra_miss_rate=0.01, active_fraction=0.5)
+        assert ratio == pytest.approx(0.079, abs=0.005)
+
+    def test_ratios_scale_linearly(self, model):
+        assert model.l1_dynamic_to_leakage_ratio(10, 0.5) == pytest.approx(
+            2.0 * model.l1_dynamic_to_leakage_ratio(5, 0.5)
+        )
+        assert model.l2_dynamic_to_leakage_ratio(0.02, 0.5) == pytest.approx(
+            2.0 * model.l2_dynamic_to_leakage_ratio(0.01, 0.5)
+        )
+
+    def test_ratio_validation(self, model):
+        with pytest.raises(ValueError):
+            model.l1_dynamic_to_leakage_ratio(resizing_bits=5, active_fraction=0.0)
+        with pytest.raises(ValueError):
+            model.l2_dynamic_to_leakage_ratio(extra_miss_rate=-0.1, active_fraction=0.5)
+
+
+class TestEnergyDelay:
+    def test_energy_delay_product(self):
+        breakdown = EnergyBreakdown(
+            l1_leakage_nj=100.0,
+            extra_l1_dynamic_nj=10.0,
+            extra_l2_dynamic_nj=5.0,
+            conventional_leakage_nj=200.0,
+            delay_cycles=1000,
+        )
+        assert breakdown.energy_delay() == pytest.approx(115_000.0)
+        assert breakdown.conventional_energy_delay() == pytest.approx(200_000.0)
+        assert breakdown.relative_energy_delay() == pytest.approx(0.575)
+
+    def test_relative_energy_delay_accounts_for_slower_baseline_delay(self):
+        breakdown = EnergyBreakdown(
+            l1_leakage_nj=100.0,
+            extra_l1_dynamic_nj=0.0,
+            extra_l2_dynamic_nj=0.0,
+            conventional_leakage_nj=200.0,
+            delay_cycles=1100,
+        )
+        # The conventional run took only 1000 cycles: the DRI cache is both
+        # slower and lower-energy, and the ratio reflects both.
+        assert breakdown.relative_energy_delay(1000) == pytest.approx(
+            (100.0 * 1100) / (200.0 * 1000)
+        )
+
+    def test_dynamic_fraction(self):
+        breakdown = EnergyBreakdown(
+            l1_leakage_nj=80.0,
+            extra_l1_dynamic_nj=10.0,
+            extra_l2_dynamic_nj=10.0,
+            conventional_leakage_nj=200.0,
+            delay_cycles=10,
+        )
+        assert breakdown.dynamic_fraction == pytest.approx(0.2)

@@ -1,0 +1,133 @@
+"""Tests for the per-figure experiment drivers (small-scale runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.experiments import (
+    ExperimentScale,
+    figure3_experiment,
+    figure4_experiment,
+    figure5_experiment,
+    figure6_experiment,
+    section521_ratios,
+    section56_divisibility_experiment,
+    section56_interval_experiment,
+    table2_experiment,
+)
+
+TINY_SCALE = ExperimentScale(
+    trace_instructions=80_000,
+    sense_interval=5_000,
+    miss_bounds=(10, 80),
+    size_bounds=(1024, 8192, 65536),
+)
+
+SMALL_SET = ("compress", "fpppp", "hydro2d")
+
+
+class TestCircuitExperiments:
+    def test_table2_experiment_columns(self):
+        summary = table2_experiment()
+        assert set(summary) == {"base_high_vt", "base_low_vt", "nmos_gated_vdd"}
+        gated = summary["nmos_gated_vdd"]
+        assert gated["energy_savings_percent"] > 90.0
+        assert gated["relative_read_time"] < 1.2
+
+    def test_section521_ratios_match_paper(self):
+        ratios = section521_ratios()
+        assert ratios["l1_dynamic_to_leakage"] == pytest.approx(0.024, abs=0.003)
+        assert ratios["l2_dynamic_to_leakage"] == pytest.approx(0.08, abs=0.01)
+
+
+class TestFigure3:
+    def test_figure3_rows_cover_requested_benchmarks(self):
+        result = figure3_experiment(benchmarks=SMALL_SET, scale=TINY_SCALE)
+        assert {row.benchmark for row in result.constrained} == set(SMALL_SET)
+        assert {row.benchmark for row in result.unconstrained} == set(SMALL_SET)
+
+    def test_constrained_rows_meet_constraint(self):
+        result = figure3_experiment(benchmarks=SMALL_SET, scale=TINY_SCALE)
+        for row in result.constrained:
+            assert row.slowdown_percent <= 4.0 + 1e-6
+
+    def test_class1_benchmark_gets_large_reduction(self):
+        result = figure3_experiment(benchmarks=("compress",), scale=TINY_SCALE)
+        row = result.row("compress")
+        assert row.relative_energy_delay < 0.5
+        assert row.average_size_fraction < 0.5
+
+    def test_fpppp_cannot_reduce_much(self):
+        result = figure3_experiment(benchmarks=("fpppp",), scale=TINY_SCALE)
+        row = result.row("fpppp")
+        assert row.relative_energy_delay > 0.7
+
+    def test_mean_reductions_between_zero_and_one(self):
+        result = figure3_experiment(benchmarks=SMALL_SET, scale=TINY_SCALE)
+        assert 0.0 <= result.mean_energy_delay_reduction() <= 1.0
+        assert 0.0 <= result.mean_size_reduction() <= 1.0
+
+    def test_components_sum_to_energy_delay(self):
+        result = figure3_experiment(benchmarks=("hydro2d",), scale=TINY_SCALE)
+        row = result.row("hydro2d")
+        assert row.leakage_component + row.dynamic_component == pytest.approx(
+            row.relative_energy_delay, rel=1e-6
+        )
+
+
+class TestSensitivityExperiments:
+    def test_figure4_has_three_variations(self):
+        result = figure4_experiment(benchmarks=("compress",), scale=TINY_SCALE)
+        assert set(result.variations) == {"0.5x", "base", "2x"}
+        assert "compress" in result.rows
+
+    def test_figure4_robust_for_class1(self):
+        # Section 5.4.1: for most benchmarks the energy-delay barely moves
+        # over a 4x miss-bound range; class 1 benchmarks are the clearest case.
+        result = figure4_experiment(benchmarks=("compress",), scale=TINY_SCALE)
+        values = [result.row("compress", label).relative_energy_delay for label in result.variations]
+        assert max(values) - min(values) < 0.25
+
+    def test_figure5_has_three_variations(self):
+        result = figure5_experiment(benchmarks=("compress",), scale=TINY_SCALE)
+        assert set(result.variations) == {"0.5x", "base", "2x"}
+
+    def test_figure5_larger_size_bound_does_not_shrink_cache_more(self):
+        result = figure5_experiment(benchmarks=("compress",), scale=TINY_SCALE)
+        doubled = result.row("compress", "2x").average_size_fraction
+        base = result.row("compress", "base").average_size_fraction
+        assert doubled >= base - 0.05
+
+    def test_interval_robustness(self):
+        result = section56_interval_experiment(
+            benchmarks=("compress",), scale=TINY_SCALE, interval_factors=(0.5, 1.0, 2.0)
+        )
+        values = [
+            result.row("compress", label).relative_energy_delay for label in result.variations
+        ]
+        # Section 5.6: varying the interval length changes energy-delay little.
+        assert max(values) - min(values) < 0.3
+
+    def test_divisibility_variants_run(self):
+        result = section56_divisibility_experiment(
+            benchmarks=("compress",), scale=TINY_SCALE, divisibilities=(2, 4)
+        )
+        assert set(result.variations) == {"div2", "div4"}
+
+
+class TestFigure6:
+    def test_figure6_configurations(self):
+        result = figure6_experiment(benchmarks=("compress", "swim"), scale=TINY_SCALE)
+        assert set(result.variations) == {"64K-4way", "64K-DM", "128K-DM"}
+        for benchmark in ("compress", "swim"):
+            for variation in result.variations:
+                row = result.row(benchmark, variation)
+                assert 0.0 < row.relative_energy_delay < 1.6
+
+    def test_figure6_larger_cache_gives_lower_relative_energy_delay_for_class1(self):
+        # Section 5.5: increasing the base size gives higher savings because
+        # a larger fraction of the cache sits in standby.
+        result = figure6_experiment(benchmarks=("compress",), scale=TINY_SCALE)
+        small = result.row("compress", "64K-DM").relative_energy_delay
+        large = result.row("compress", "128K-DM").relative_energy_delay
+        assert large <= small + 0.05

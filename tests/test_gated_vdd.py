@@ -1,0 +1,124 @@
+"""Tests for the gated-Vdd supply-gating model (Table 2, gated column)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.gated_vdd import (
+    NMOS_SINGLE_VT,
+    PMOS_HEADER,
+    WIDE_NMOS_DUAL_VT,
+    GatedSRAMCell,
+    GatedVddConfig,
+    GatingStyle,
+    table2_summary,
+)
+from repro.circuit.sram import SRAMCell
+from repro.circuit.technology import DEFAULT_TECHNOLOGY
+
+
+@pytest.fixture
+def gated_cell() -> GatedSRAMCell:
+    return GatedSRAMCell()
+
+
+class TestGatedVddConfig:
+    def test_default_is_wide_nmos_dual_vt_with_charge_pump(self):
+        config = WIDE_NMOS_DUAL_VT
+        assert config.style is GatingStyle.NMOS_FOOTER
+        assert config.dual_vt
+        assert config.charge_pump
+
+    def test_dual_vt_gate_uses_high_vt(self):
+        assert WIDE_NMOS_DUAL_VT.gate_vt == pytest.approx(DEFAULT_TECHNOLOGY.high_vt)
+
+    def test_single_vt_gate_uses_nominal_vt(self):
+        assert NMOS_SINGLE_VT.gate_vt == pytest.approx(DEFAULT_TECHNOLOGY.nominal_vt)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            GatedVddConfig(width_per_cell=0.0)
+
+    def test_rejects_zero_sharing(self):
+        with pytest.raises(ValueError):
+            GatedVddConfig(cells_per_gate=0)
+
+    def test_sleep_transistor_width_scales_with_sharing(self):
+        config = GatedVddConfig(width_per_cell=2.0, cells_per_gate=100)
+        assert config.sleep_transistor().width_ratio == pytest.approx(200.0)
+
+
+class TestTable2Reproduction:
+    def test_active_leakage_equals_ungated_cell(self, gated_cell):
+        assert gated_cell.active_leakage_energy_nj() == pytest.approx(
+            gated_cell.cell.leakage_energy_per_cycle_nj(), rel=1e-9
+        )
+
+    def test_standby_leakage_matches_table2(self, gated_cell):
+        # Table 2: 53e-9 nJ per cycle in standby mode.
+        assert gated_cell.standby_leakage_energy_nj() == pytest.approx(53e-9, rel=0.35)
+
+    def test_energy_savings_at_least_95_percent(self, gated_cell):
+        # Table 2 reports 97% savings.
+        assert gated_cell.standby_savings_fraction() >= 0.95
+
+    def test_relative_read_time_matches_table2(self, gated_cell):
+        # Table 2: 1.08x relative read time.
+        assert gated_cell.relative_read_time() == pytest.approx(1.08, abs=0.05)
+
+    def test_area_overhead_matches_table2(self, gated_cell):
+        # Table 2: ~5% area increase.
+        assert gated_cell.area_overhead_fraction() == pytest.approx(0.05, abs=0.02)
+
+    def test_table2_row_keys(self, gated_cell):
+        row = gated_cell.table2_row()
+        assert set(row) == {
+            "gated_vdd_vt",
+            "sram_vt",
+            "relative_read_time",
+            "active_leakage_energy_nj",
+            "standby_leakage_energy_nj",
+            "energy_savings_percent",
+            "area_increase_percent",
+        }
+
+    def test_summary_contains_three_columns(self):
+        summary = table2_summary()
+        assert set(summary) == {"base_high_vt", "base_low_vt", "nmos_gated_vdd"}
+        assert summary["base_low_vt"]["relative_read_time"] == pytest.approx(1.0)
+        assert summary["base_high_vt"]["relative_read_time"] == pytest.approx(2.22, rel=0.05)
+
+
+class TestDesignTradeoffs:
+    def test_single_vt_footer_saves_less_than_dual_vt(self):
+        dual = GatedSRAMCell(gating=WIDE_NMOS_DUAL_VT)
+        single = GatedSRAMCell(gating=NMOS_SINGLE_VT)
+        assert single.standby_savings_fraction() < dual.standby_savings_fraction()
+
+    def test_pmos_header_still_saves_most_leakage(self):
+        header = GatedSRAMCell(gating=PMOS_HEADER)
+        assert header.standby_savings_fraction() > 0.8
+
+    def test_wider_footer_reduces_read_penalty(self):
+        narrow = GatedSRAMCell(gating=GatedVddConfig(width_per_cell=1.0))
+        wide = GatedSRAMCell(gating=GatedVddConfig(width_per_cell=8.0))
+        assert wide.relative_read_time() < narrow.relative_read_time()
+
+    def test_wider_footer_increases_area(self):
+        narrow = GatedSRAMCell(gating=GatedVddConfig(width_per_cell=1.0))
+        wide = GatedSRAMCell(gating=GatedVddConfig(width_per_cell=8.0))
+        assert wide.area_overhead_fraction() > narrow.area_overhead_fraction()
+
+    def test_charge_pump_improves_read_time(self):
+        with_pump = GatedSRAMCell(gating=GatedVddConfig(charge_pump=True))
+        without_pump = GatedSRAMCell(gating=GatedVddConfig(charge_pump=False))
+        assert with_pump.relative_read_time() < without_pump.relative_read_time()
+
+    def test_standby_leakage_below_high_vt_cell_leakage(self, gated_cell):
+        # The gated cell's standby leakage should be confined to roughly the
+        # high-Vt level (Table 2: 53 vs 50 e-9 nJ).
+        high_vt_cell = SRAMCell(vt=DEFAULT_TECHNOLOGY.high_vt)
+        assert gated_cell.standby_leakage_energy_nj() < 2.0 * high_vt_cell.leakage_energy_per_cycle_nj()
+
+    def test_standby_always_below_active(self, gated_cell):
+        assert gated_cell.standby_leakage_energy_nj() < gated_cell.active_leakage_energy_nj()

@@ -1,0 +1,126 @@
+"""Tests for the trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import (
+    ALIAS_STRIDE_BYTES,
+    CODE_BASE_ADDRESS,
+    SCATTER_BASE_ADDRESS,
+    generate_trace,
+)
+from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
+from repro.workloads.spec95 import get_benchmark
+
+
+def simple_spec(
+    footprint_bytes: int = 4096, scatter_rate: float = 0.0, aliased: bool = False
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="synthetic-test",
+        benchmark_class=BenchmarkClass.SMALL_FOOTPRINT,
+        phases=[
+            PhaseSpec(
+                name="only",
+                footprint_bytes=footprint_bytes,
+                duration_fraction=1.0,
+                loops=(
+                    LoopSpec(size_fraction=0.5, weight=0.6, repeats=4),
+                    LoopSpec(size_fraction=0.25, weight=0.4, repeats=4, aliased=aliased),
+                ),
+                scatter_rate=scatter_rate,
+            )
+        ],
+    )
+
+
+class TestBasicGeneration:
+    def test_trace_length_matches_instruction_budget(self):
+        trace = generate_trace(simple_spec(), total_instructions=80_000)
+        assert trace.num_instructions == 80_000
+        assert trace.num_accesses == 10_000
+
+    def test_addresses_are_line_aligned(self):
+        trace = generate_trace(simple_spec(), total_instructions=8_000)
+        assert np.all(trace.line_addresses % trace.line_size == 0)
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_trace(simple_spec(), total_instructions=16_000, seed=11)
+        second = generate_trace(simple_spec(), total_instructions=16_000, seed=11)
+        assert np.array_equal(first.line_addresses, second.line_addresses)
+
+    def test_different_seeds_differ(self):
+        first = generate_trace(simple_spec(), total_instructions=16_000, seed=1)
+        second = generate_trace(simple_spec(), total_instructions=16_000, seed=2)
+        assert not np.array_equal(first.line_addresses, second.line_addresses)
+
+    def test_different_benchmarks_are_decorrelated(self):
+        first = generate_trace(get_benchmark("applu"), total_instructions=16_000, seed=5)
+        second = generate_trace(get_benchmark("mgrid"), total_instructions=16_000, seed=5)
+        assert not np.array_equal(first.line_addresses, second.line_addresses)
+
+    def test_rejects_too_small_budget(self):
+        with pytest.raises(ValueError):
+            generate_trace(simple_spec(), total_instructions=4)
+
+
+class TestFootprint:
+    def test_footprint_close_to_spec(self):
+        footprint = 8 * 1024
+        trace = generate_trace(simple_spec(footprint_bytes=footprint), total_instructions=400_000)
+        # Loops cover sub-ranges of the phase footprint, so the touched
+        # footprint is below the spec value but the same order of magnitude.
+        assert 0.2 * footprint <= trace.footprint_bytes <= 1.3 * footprint
+
+    def test_small_footprint_benchmark_touches_few_lines(self):
+        trace = generate_trace(get_benchmark("compress"), total_instructions=200_000)
+        assert trace.footprint_bytes < 8 * 1024
+
+    def test_large_footprint_benchmark_touches_many_lines(self):
+        trace = generate_trace(get_benchmark("fpppp"), total_instructions=400_000)
+        assert trace.footprint_bytes > 24 * 1024
+
+    def test_addresses_start_in_code_region(self):
+        trace = generate_trace(simple_spec(), total_instructions=8_000)
+        assert int(trace.line_addresses.min()) >= CODE_BASE_ADDRESS
+
+
+class TestScatterAndAliasing:
+    def test_scatter_adds_far_addresses(self):
+        quiet = generate_trace(simple_spec(scatter_rate=0.0), total_instructions=80_000)
+        noisy = generate_trace(simple_spec(scatter_rate=0.05), total_instructions=80_000)
+        assert int(noisy.line_addresses.max()) >= SCATTER_BASE_ADDRESS
+        assert int(quiet.line_addresses.max()) < SCATTER_BASE_ADDRESS
+        assert noisy.footprint_lines > quiet.footprint_lines
+
+    def test_aliased_loop_offset_by_reference_cache_size(self):
+        trace = generate_trace(simple_spec(aliased=True), total_instructions=80_000)
+        offsets = trace.line_addresses - np.uint64(CODE_BASE_ADDRESS)
+        # Some fetches land one alias stride (64K) above the phase base.
+        assert bool(np.any(offsets >= ALIAS_STRIDE_BYTES))
+
+
+class TestPhaseStructure:
+    def test_phases_emit_in_order(self):
+        spec = get_benchmark("hydro2d")  # init phase then compute phase
+        trace = generate_trace(spec, total_instructions=160_000)
+        addresses = trace.line_addresses
+        early = addresses[: len(addresses) // 20]  # first 5%: inside the init phase
+        late = addresses[-len(addresses) // 4 :]  # last quarter: the compute phase
+        # The later (compute) phase lives in a higher address region than
+        # the init phase because each phase gets its own code region.
+        assert int(late.min()) > int(early.min())
+
+    def test_phase_budgets_respected(self):
+        spec = get_benchmark("hydro2d")
+        trace = generate_trace(spec, total_instructions=160_000)
+        init_fraction = spec.phases[0].duration_fraction
+        boundary = int(len(trace.line_addresses) * init_fraction)
+        init_addresses = trace.line_addresses[: max(1, boundary - 5)]
+        # Virtually all early fetches come from the first phase's region
+        # (scatter references may escape it).
+        first_region_top = CODE_BASE_ADDRESS + (1 << 24)
+        in_region = np.mean(init_addresses < first_region_top)
+        assert in_region > 0.9

@@ -1,0 +1,120 @@
+"""Tests for the DRI size mask and resizing tag bits (Section 2.1-2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import CacheGeometry
+from repro.dri.mask import SizeMask
+
+
+@pytest.fixture
+def paper_mask() -> SizeMask:
+    """64K direct-mapped cache with a 1K size-bound (the paper's example)."""
+    return SizeMask(CacheGeometry(size_bytes=64 * 1024, block_size=32, associativity=1), 1024)
+
+
+class TestStaticProperties:
+    def test_paper_example_tag_bits(self, paper_mask):
+        # Section 2.1: 16 regular tag bits plus 6 resizing bits = 22 total.
+        assert paper_mask.conventional_tag_bits == 16
+        assert paper_mask.resizing_tag_bits == 6
+        assert paper_mask.total_tag_bits == 22
+
+    def test_set_counts(self, paper_mask):
+        assert paper_mask.full_sets == 2048
+        assert paper_mask.min_sets == 32
+        assert paper_mask.full_index_bits == 11
+        assert paper_mask.min_index_bits == 5
+
+    def test_size_bound_equal_to_full_size_means_no_resizing_bits(self):
+        mask = SizeMask(CacheGeometry(size_bytes=64 * 1024), 64 * 1024)
+        assert mask.resizing_tag_bits == 0
+
+    def test_set_associative_resizing_bits(self):
+        mask = SizeMask(CacheGeometry(size_bytes=64 * 1024, associativity=4), 1024)
+        # 512 sets down to 8 sets: still 6 resizing bits.
+        assert mask.full_sets == 512
+        assert mask.min_sets == 8
+        assert mask.resizing_tag_bits == 6
+
+    def test_128k_needs_one_more_resizing_bit_than_64k(self):
+        small = SizeMask(CacheGeometry(size_bytes=64 * 1024), 1024)
+        large = SizeMask(CacheGeometry(size_bytes=128 * 1024), 1024)
+        # Figure 6: the 128K cache uses one more resizing tag bit so its
+        # size-bound matches the 64K cache's.
+        assert large.resizing_tag_bits == small.resizing_tag_bits + 1
+
+
+class TestValidation:
+    def test_rejects_size_bound_above_full_size(self):
+        with pytest.raises(ValueError):
+            SizeMask(CacheGeometry(size_bytes=8 * 1024), 16 * 1024)
+
+    def test_rejects_size_bound_below_one_set(self):
+        with pytest.raises(ValueError):
+            SizeMask(CacheGeometry(size_bytes=8 * 1024, block_size=32, associativity=4), 64)
+
+    def test_rejects_non_power_of_two_size_bound(self):
+        with pytest.raises(ValueError):
+            SizeMask(CacheGeometry(size_bytes=8 * 1024), 3 * 1024)
+
+
+class TestAllowedSizes:
+    def test_divisibility_two(self, paper_mask):
+        sizes = paper_mask.allowed_sizes(2)
+        assert sizes[0] == 1024
+        assert sizes[-1] == 64 * 1024
+        assert sizes == sorted(sizes)
+        assert len(sizes) == 7
+
+    def test_divisibility_four(self, paper_mask):
+        sizes = paper_mask.allowed_sizes(4)
+        assert sizes[0] == 1024
+        assert sizes[-1] == 64 * 1024
+        assert 4096 in sizes
+
+    def test_divisibility_rejects_non_power_of_two(self, paper_mask):
+        with pytest.raises(ValueError):
+            paper_mask.allowed_sizes(3)
+
+    def test_sets_for_size_roundtrip(self, paper_mask):
+        for size in paper_mask.allowed_sizes(2):
+            sets = paper_mask.sets_for_size(size)
+            assert paper_mask.size_for_sets(sets) == size
+
+    def test_sets_for_size_rejects_out_of_range(self, paper_mask):
+        with pytest.raises(ValueError):
+            paper_mask.sets_for_size(512)
+        with pytest.raises(ValueError):
+            paper_mask.sets_for_size(128 * 1024)
+
+
+class TestAddressMapping:
+    def test_index_mask_values(self, paper_mask):
+        assert paper_mask.index_mask(2048) == 2047
+        assert paper_mask.index_mask(32) == 31
+
+    def test_index_mask_rejects_out_of_range_sets(self, paper_mask):
+        with pytest.raises(ValueError):
+            paper_mask.index_mask(16)
+
+    def test_set_index_shrinks_with_downsizing(self, paper_mask):
+        block = 0b1010_1010_101  # an 11-bit index pattern
+        assert paper_mask.set_index(block, 2048) == block & 2047
+        assert paper_mask.set_index(block, 32) == block & 31
+
+    def test_tag_is_size_invariant(self, paper_mask):
+        """The stored tag never depends on the current size (Section 2.2)."""
+        block = 0xDEADBEEF >> 5
+        tag = paper_mask.tag(block)
+        # The tag is defined by the minimum size only.
+        assert tag == block >> paper_mask.min_index_bits
+
+    def test_blocks_in_surviving_sets_keep_their_mapping_when_downsizing(self, paper_mask):
+        """A block in set s < new_sets maps to the same set at the smaller size."""
+        for block in (32 * 7 + 3, 2048 * 5 + 3, 11):
+            large_index = paper_mask.set_index(block, 2048)
+            small_index = paper_mask.set_index(block, 32)
+            if large_index < 32:
+                assert small_index == large_index

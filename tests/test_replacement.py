@@ -1,0 +1,102 @@
+"""Tests for cache replacement policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_initial_victim_is_last_way(self):
+        policy = LRUPolicy(4)
+        assert policy.victim() == 3
+
+    def test_touch_moves_way_to_most_recent(self):
+        policy = LRUPolicy(4)
+        policy.touch(3)
+        assert policy.victim() == 2
+
+    def test_victim_is_least_recently_used(self):
+        policy = LRUPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.fill(way)
+        policy.touch(0)
+        policy.touch(1)
+        # Way 2 is now the least recently used.
+        assert policy.victim() == 2
+
+    def test_single_way_always_victim_zero(self):
+        policy = LRUPolicy(1)
+        policy.touch(0)
+        assert policy.victim() == 0
+
+    def test_reset_restores_initial_order(self):
+        policy = LRUPolicy(4)
+        policy.touch(3)
+        policy.reset()
+        assert policy.victim() == 3
+
+
+class TestFIFO:
+    def test_fills_rotate_victim(self):
+        policy = FIFOPolicy(4)
+        assert policy.victim() == 0
+        policy.fill(0)
+        assert policy.victim() == 1
+        policy.fill(1)
+        assert policy.victim() == 2
+
+    def test_touch_does_not_change_order(self):
+        policy = FIFOPolicy(4)
+        policy.fill(0)
+        policy.touch(0)
+        assert policy.victim() == 1
+
+    def test_wraps_around(self):
+        policy = FIFOPolicy(2)
+        policy.fill(0)
+        policy.fill(1)
+        assert policy.victim() == 0
+
+
+class TestRandom:
+    def test_victims_within_range(self):
+        policy = RandomPolicy(4, seed=99)
+        for _ in range(100):
+            assert 0 <= policy.victim() < 4
+
+    def test_deterministic_for_same_seed(self):
+        first = RandomPolicy(8, seed=5)
+        second = RandomPolicy(8, seed=5)
+        assert [first.victim() for _ in range(20)] == [second.victim() for _ in range(20)]
+
+    def test_different_seeds_differ(self):
+        first = [RandomPolicy(8, seed=1).victim() for _ in range(10)]
+        second = [RandomPolicy(8, seed=2).victim() for _ in range(10)]
+        # Not all positions should match for different seeds.
+        assert first != second
+
+
+class TestFactory:
+    def test_make_lru(self):
+        assert isinstance(make_policy("lru", 2), LRUPolicy)
+
+    def test_make_fifo_case_insensitive(self):
+        assert isinstance(make_policy("FIFO", 2), FIFOPolicy)
+
+    def test_make_random(self):
+        assert isinstance(make_policy("random", 2), RandomPolicy)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 2)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0)

@@ -1,0 +1,101 @@
+"""Tests for the text report formatters."""
+
+from __future__ import annotations
+
+from repro.analysis.report import (
+    benchmark_class_label,
+    format_figure3,
+    format_sensitivity,
+    format_table,
+    format_table2,
+    rows_as_dicts,
+)
+from repro.simulation.experiments import (
+    BenchmarkRow,
+    Figure3Result,
+    SensitivityResult,
+    table2_experiment,
+)
+
+
+def make_row(benchmark: str = "compress", energy_delay: float = 0.3) -> BenchmarkRow:
+    return BenchmarkRow(
+        benchmark=benchmark,
+        relative_energy_delay=energy_delay,
+        leakage_component=energy_delay * 0.9,
+        dynamic_component=energy_delay * 0.1,
+        average_size_fraction=0.25,
+        slowdown_percent=1.5,
+        miss_rate=0.004,
+    )
+
+
+class TestGenericTable:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+
+    def test_benchmark_class_labels(self):
+        assert benchmark_class_label("compress") == "Class 1"
+        assert benchmark_class_label("fpppp") == "Class 2"
+        assert benchmark_class_label("gcc") == "Class 3"
+
+
+class TestTable2Format:
+    def test_contains_all_columns_and_metrics(self):
+        text = format_table2(table2_experiment())
+        assert "base_high_vt" in text
+        assert "nmos_gated_vdd" in text
+        assert "Relative read time" in text
+        assert "Energy savings (%)" in text
+        assert "n/a" in text  # the base columns have no standby row
+
+
+class TestFigure3Format:
+    def test_lists_benchmarks_and_summary(self):
+        result = Figure3Result(
+            constrained=[make_row("compress"), make_row("fpppp", 0.95)],
+            unconstrained=[make_row("compress", 0.25), make_row("fpppp", 0.8)],
+        )
+        text = format_figure3(result)
+        assert "compress" in text
+        assert "fpppp" in text
+        assert "Mean energy-delay reduction" in text
+
+    def test_missing_unconstrained_row_falls_back(self):
+        result = Figure3Result(constrained=[make_row("compress")], unconstrained=[])
+        text = format_figure3(result)
+        assert "compress" in text
+
+
+class TestSensitivityFormat:
+    def test_columns_per_variation(self):
+        result = SensitivityResult()
+        result.add("compress", "0.5x", make_row())
+        result.add("compress", "2x", make_row(energy_delay=0.4))
+        text = format_sensitivity(result, title="Figure 4")
+        assert text.startswith("Figure 4")
+        assert "E*D 0.5x" in text
+        assert "E*D 2x" in text
+
+    def test_missing_variation_shows_na(self):
+        result = SensitivityResult()
+        result.add("compress", "base", make_row())
+        result.add("fpppp", "base", make_row("fpppp"))
+        result.add("fpppp", "2x", make_row("fpppp"))
+        text = format_sensitivity(result, title="Figure 5")
+        assert "n/a" in text
+
+
+class TestRowsAsDicts:
+    def test_round_trips_fields(self):
+        dictionaries = rows_as_dicts([make_row()])
+        assert dictionaries[0]["benchmark"] == "compress"
+        assert set(dictionaries[0]) >= {
+            "relative_energy_delay",
+            "average_size_fraction",
+            "slowdown_percent",
+        }

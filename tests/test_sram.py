@@ -1,0 +1,89 @@
+"""Tests for the 6-T SRAM cell and array models (Table 2 base columns)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.sram import SRAMArray, SRAMCell
+from repro.circuit.technology import DEFAULT_TECHNOLOGY
+
+
+@pytest.fixture
+def low_vt_cell() -> SRAMCell:
+    return SRAMCell(vt=DEFAULT_TECHNOLOGY.nominal_vt)
+
+
+@pytest.fixture
+def high_vt_cell() -> SRAMCell:
+    return SRAMCell(vt=DEFAULT_TECHNOLOGY.high_vt)
+
+
+class TestCellLeakage:
+    def test_low_vt_cell_matches_table2_active_leakage(self, low_vt_cell):
+        # Table 2: 1740e-9 nJ per 1 ns cycle for the low-Vt cell.
+        energy = low_vt_cell.leakage_energy_per_cycle_nj(1.0)
+        assert energy == pytest.approx(1740e-9, rel=0.10)
+
+    def test_high_vt_cell_matches_table2_active_leakage(self, high_vt_cell):
+        # Table 2: 50e-9 nJ per 1 ns cycle for the high-Vt cell.
+        energy = high_vt_cell.leakage_energy_per_cycle_nj(1.0)
+        assert energy == pytest.approx(50e-9, rel=0.15)
+
+    def test_vt_scaling_factor_matches_paper(self, low_vt_cell, high_vt_cell):
+        ratio = low_vt_cell.leakage_current_na() / high_vt_cell.leakage_current_na()
+        # The paper quotes "more than a factor of 30".
+        assert ratio > 30
+
+    def test_leakage_energy_scales_with_cycle_time(self, low_vt_cell):
+        assert low_vt_cell.leakage_energy_per_cycle_nj(2.0) == pytest.approx(
+            2.0 * low_vt_cell.leakage_energy_per_cycle_nj(1.0)
+        )
+
+    def test_leakage_energy_rejects_bad_cycle_time(self, low_vt_cell):
+        with pytest.raises(ValueError):
+            low_vt_cell.leakage_energy_per_cycle_nj(0.0)
+
+
+class TestCellTiming:
+    def test_relative_read_time_table2(self, high_vt_cell):
+        # Table 2: 2.22x relative read time for the high-Vt cell.
+        assert high_vt_cell.relative_read_time() == pytest.approx(2.22, rel=0.05)
+
+    def test_low_vt_relative_read_time_is_one(self, low_vt_cell):
+        assert low_vt_cell.relative_read_time() == pytest.approx(1.0)
+
+    def test_read_time_positive_and_subnanosecond_scale(self, low_vt_cell):
+        read_time = low_vt_cell.read_time_ns()
+        assert 0.0 < read_time < 5.0
+
+    def test_read_time_rejects_bad_capacitance(self, low_vt_cell):
+        with pytest.raises(ValueError):
+            low_vt_cell.read_time_ns(bitline_capacitance_ff=0.0)
+
+    def test_dynamic_read_energy_positive(self, low_vt_cell):
+        assert low_vt_cell.dynamic_read_energy_nj() > 0.0
+
+
+class TestCellGeometry:
+    def test_area_scales_with_feature_size(self, low_vt_cell):
+        area = low_vt_cell.area_um2()
+        assert area == pytest.approx(120.0 * 0.18 * 0.18, rel=1e-6)
+
+
+class TestArray:
+    def test_64k_data_array_leakage_matches_paper_constant(self):
+        # Section 5.2: the 64K conventional i-cache leaks 0.91 nJ per cycle.
+        array = SRAMArray(num_bits=64 * 1024 * 8)
+        assert array.leakage_energy_per_cycle_nj(1.0) == pytest.approx(0.91, rel=0.10)
+
+    def test_array_leakage_linear_in_bits(self):
+        small = SRAMArray(num_bits=1000)
+        large = SRAMArray(num_bits=2000)
+        assert large.leakage_power_nw() == pytest.approx(2.0 * small.leakage_power_nw())
+
+    def test_array_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SRAMArray(num_bits=0)
+
+    def test_array_area_positive(self):
+        assert SRAMArray(num_bits=8 * 1024).area_mm2() > 0.0

@@ -1,0 +1,99 @@
+"""Tests for the parameter sweep and best-case search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import DRIParameters
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+
+
+@pytest.fixture
+def sweep() -> ParameterSweep:
+    simulator = Simulator(trace_instructions=80_000, seed=3)
+    return ParameterSweep(
+        simulator, base_parameters=DRIParameters(sense_interval=5_000)
+    )
+
+
+MISS_BOUNDS = (10, 80)
+SIZE_BOUNDS = (1024, 8192, 65536)
+
+
+class TestBaselineCaching:
+    def test_baseline_is_cached(self, sweep):
+        first = sweep.conventional_baseline("compress")
+        second = sweep.conventional_baseline("compress")
+        assert first is second
+
+    def test_baselines_are_per_benchmark(self, sweep):
+        assert sweep.conventional_baseline("compress") is not sweep.conventional_baseline("mgrid")
+
+
+class TestEvaluate:
+    def test_evaluate_produces_comparison(self, sweep):
+        params = DRIParameters(miss_bound=40, size_bound=1024, sense_interval=5_000)
+        point = sweep.evaluate("compress", params)
+        assert point.parameters == params
+        assert point.simulation.cache_kind == "dri"
+        assert 0.0 < point.energy_delay <= 1.5
+        assert point.comparison.benchmark == "compress"
+
+    def test_size_bound_full_size_gives_energy_delay_near_one(self, sweep):
+        params = DRIParameters(miss_bound=40, size_bound=65536, sense_interval=5_000)
+        point = sweep.evaluate("fpppp", params)
+        assert point.energy_delay == pytest.approx(1.0, abs=0.05)
+
+
+class TestGrid:
+    def test_grid_evaluates_all_combinations(self, sweep):
+        result = sweep.grid("compress", miss_bounds=MISS_BOUNDS, size_bounds=SIZE_BOUNDS)
+        assert len(result.points) == len(MISS_BOUNDS) * len(SIZE_BOUNDS)
+        assert result.benchmark == "compress"
+
+    def test_grid_skips_size_bounds_above_full_size(self, sweep):
+        result = sweep.grid("compress", miss_bounds=(10,), size_bounds=(1024, 128 * 1024))
+        assert len(result.points) == 1
+
+    def test_by_parameters_lookup(self, sweep):
+        result = sweep.grid("compress", miss_bounds=MISS_BOUNDS, size_bounds=SIZE_BOUNDS)
+        point = result.by_parameters(miss_bound=10, size_bound=1024)
+        assert point is not None
+        assert result.by_parameters(miss_bound=999, size_bound=1024) is None
+
+
+class TestBestSelection:
+    def test_constrained_best_meets_constraint_when_possible(self, sweep):
+        result = sweep.grid("compress", miss_bounds=MISS_BOUNDS, size_bounds=SIZE_BOUNDS)
+        best = result.best(constrained=True)
+        assert best is not None
+        # The full-size configuration always meets the constraint, so the
+        # constrained best must meet it too.
+        assert best.meets_constraint
+
+    def test_unconstrained_best_never_worse_than_constrained(self, sweep):
+        result = sweep.grid("hydro2d", miss_bounds=MISS_BOUNDS, size_bounds=SIZE_BOUNDS)
+        constrained = result.best(constrained=True)
+        unconstrained = result.best(constrained=False)
+        assert unconstrained.energy_delay <= constrained.energy_delay + 1e-12
+
+    def test_best_configuration_returns_parameters(self, sweep):
+        params, point = sweep.best_configuration(
+            "compress", constrained=True, miss_bounds=MISS_BOUNDS, size_bounds=SIZE_BOUNDS
+        )
+        assert params == point.parameters
+        assert params.size_bound in SIZE_BOUNDS
+
+    def test_small_footprint_benchmark_picks_small_size_bound(self, sweep):
+        params, point = sweep.best_configuration(
+            "compress", constrained=True, miss_bounds=MISS_BOUNDS, size_bounds=SIZE_BOUNDS
+        )
+        assert params.size_bound <= 8192
+        assert point.comparison.average_size_fraction < 0.5
+
+    def test_empty_sweep_best_is_none(self, sweep):
+        from repro.simulation.sweep import SweepResult
+
+        empty = SweepResult(benchmark="x", conventional=sweep.conventional_baseline("compress"))
+        assert empty.best() is None

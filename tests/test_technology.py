@@ -1,0 +1,98 @@
+"""Tests for the technology-node scaling model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit.technology import (
+    DEFAULT_TECHNOLOGY,
+    TechnologyNode,
+    itrs_roadmap,
+    leakage_energy_growth,
+    thermal_voltage,
+)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        # kT/q at 27C is about 25.9 mV.
+        assert thermal_voltage(27.0) == pytest.approx(0.02585, abs=2e-4)
+
+    def test_paper_operating_temperature(self):
+        # 110C (the paper's measurement temperature) is about 33 mV.
+        assert thermal_voltage(110.0) == pytest.approx(0.033, abs=5e-4)
+
+    def test_monotonic_in_temperature(self):
+        assert thermal_voltage(110.0) > thermal_voltage(27.0)
+
+
+class TestTechnologyNode:
+    def test_default_is_paper_process(self):
+        node = DEFAULT_TECHNOLOGY
+        assert node.feature_size_um == pytest.approx(0.18)
+        assert node.supply_voltage == pytest.approx(1.0)
+        assert node.nominal_vt == pytest.approx(0.20)
+        assert node.high_vt == pytest.approx(0.40)
+        assert node.temperature_c == pytest.approx(110.0)
+
+    def test_subthreshold_swing_reasonable(self):
+        # A realistic swing at 110C with body effect: 100-150 mV/decade.
+        swing = DEFAULT_TECHNOLOGY.subthreshold_swing
+        assert 0.10 < swing < 0.15
+
+    def test_leakage_ratio_matches_table2_magnitude(self):
+        # Table 2: lowering Vt from 0.4 to 0.2 raises leakage 1740/50 ~ 35x.
+        ratio = DEFAULT_TECHNOLOGY.leakage_ratio(0.40, 0.20)
+        assert 25 < ratio < 45
+
+    def test_leakage_ratio_identity(self):
+        assert DEFAULT_TECHNOLOGY.leakage_ratio(0.3, 0.3) == pytest.approx(1.0)
+
+    def test_leakage_ratio_exponential_composition(self):
+        node = DEFAULT_TECHNOLOGY
+        combined = node.leakage_ratio(0.4, 0.2)
+        stepwise = node.leakage_ratio(0.4, 0.3) * node.leakage_ratio(0.3, 0.2)
+        assert combined == pytest.approx(stepwise, rel=1e-9)
+
+    def test_validation_rejects_bad_vt_ordering(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(nominal_vt=0.5, high_vt=0.3)
+
+    def test_validation_rejects_vt_above_vdd(self):
+        with pytest.raises(ValueError):
+            TechnologyNode(nominal_vt=1.2)
+
+    def test_scaled_generation_shrinks_geometry_and_voltages(self):
+        node = DEFAULT_TECHNOLOGY.scaled_generation()
+        assert node.feature_size_um < DEFAULT_TECHNOLOGY.feature_size_um
+        assert node.supply_voltage < DEFAULT_TECHNOLOGY.supply_voltage
+        assert node.nominal_vt < DEFAULT_TECHNOLOGY.nominal_vt
+
+    def test_scaled_generation_zero_is_identity(self):
+        assert DEFAULT_TECHNOLOGY.scaled_generation(0) == DEFAULT_TECHNOLOGY
+
+    def test_scaled_generation_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TECHNOLOGY.scaled_generation(-1)
+
+
+class TestRoadmap:
+    def test_roadmap_length(self):
+        roadmap = itrs_roadmap(generations=4)
+        assert len(roadmap) == 5
+
+    def test_roadmap_starts_at_default(self):
+        assert itrs_roadmap()[0] == DEFAULT_TECHNOLOGY
+
+    def test_leakage_energy_growth_is_severalfold_per_generation(self):
+        # Borkar [3]: roughly a five-fold increase per generation.  The
+        # model should land in the same ballpark (2x-10x per step).
+        growth = leakage_energy_growth(itrs_roadmap(generations=3))
+        assert len(growth) == 3
+        for factor in growth:
+            assert 2.0 < factor < 10.0
+
+    def test_leakage_energy_growth_empty_for_single_node(self):
+        assert leakage_energy_growth([DEFAULT_TECHNOLOGY]) == []

@@ -1,0 +1,112 @@
+"""Tests for the resizing throttle (oscillation suppression)."""
+
+from __future__ import annotations
+
+from repro.config.parameters import ThrottleConfig
+from repro.dri.throttle import ResizeDecision, ResizeThrottle
+
+
+def oscillate(throttle: ResizeThrottle, reversals: int) -> None:
+    """Feed the throttle alternating downsize/upsize decisions."""
+    decision = ResizeDecision.DOWNSIZE
+    for _ in range(reversals + 1):
+        throttle.interval_tick()
+        throttle.record(decision)
+        decision = (
+            ResizeDecision.UPSIZE if decision is ResizeDecision.DOWNSIZE else ResizeDecision.DOWNSIZE
+        )
+
+
+class TestCounter:
+    def test_initially_allows_downsizing(self):
+        throttle = ResizeThrottle()
+        assert throttle.downsize_allowed()
+        assert throttle.counter == 0
+
+    def test_every_resize_increments(self):
+        throttle = ResizeThrottle()
+        throttle.record(ResizeDecision.DOWNSIZE)
+        assert throttle.counter == 1
+        throttle.record(ResizeDecision.UPSIZE)
+        assert throttle.counter == 2
+        throttle.record(ResizeDecision.DOWNSIZE)
+        assert throttle.counter == 3
+
+    def test_quiet_interval_decays_counter(self):
+        throttle = ResizeThrottle()
+        throttle.record(ResizeDecision.DOWNSIZE)
+        throttle.record(ResizeDecision.UPSIZE)
+        throttle.record(ResizeDecision.NONE)
+        # A quiet interval is evidence the resizing has calmed down.
+        assert throttle.counter == 1
+
+    def test_counter_never_decays_below_zero(self):
+        throttle = ResizeThrottle()
+        throttle.record(ResizeDecision.NONE)
+        throttle.record(ResizeDecision.NONE)
+        assert throttle.counter == 0
+
+    def test_phase_transition_burst_decays_without_engaging(self):
+        """A handful of resizes followed by quiet intervals never engages a hold."""
+        throttle = ResizeThrottle()  # 3-bit counter: saturates at 7
+        for _ in range(5):
+            throttle.interval_tick()
+            throttle.record(ResizeDecision.DOWNSIZE)
+        assert not throttle.holding
+        for _ in range(5):
+            throttle.interval_tick()
+            throttle.record(ResizeDecision.NONE)
+        assert throttle.counter == 0
+        assert not throttle.holding
+
+    def test_counter_saturates_at_configured_value(self):
+        throttle = ResizeThrottle(ThrottleConfig(counter_bits=2, hold_intervals=0))
+        oscillate(throttle, reversals=20)
+        assert throttle.counter <= 3
+
+
+class TestHold:
+    def test_hold_engages_after_saturation(self):
+        config = ThrottleConfig(counter_bits=2, hold_intervals=5)
+        throttle = ResizeThrottle(config)
+        oscillate(throttle, reversals=config.saturation_value)
+        assert throttle.holding
+        assert not throttle.downsize_allowed()
+        assert throttle.engagements == 1
+
+    def test_hold_lasts_configured_intervals(self):
+        config = ThrottleConfig(counter_bits=2, hold_intervals=4)
+        throttle = ResizeThrottle(config)
+        oscillate(throttle, reversals=config.saturation_value)
+        held = 0
+        while throttle.holding:
+            throttle.interval_tick()
+            throttle.record(ResizeDecision.NONE)
+            held += 1
+            assert held <= config.hold_intervals
+        # The hold lasts hold_intervals ticks from the moment it engages;
+        # one of those ticks can fall inside the oscillation that engaged it.
+        assert config.hold_intervals - 1 <= held <= config.hold_intervals
+
+    def test_counter_resets_after_hold(self):
+        config = ThrottleConfig(counter_bits=2, hold_intervals=2)
+        throttle = ResizeThrottle(config)
+        oscillate(throttle, reversals=config.saturation_value)
+        for _ in range(config.hold_intervals):
+            throttle.interval_tick()
+            throttle.record(ResizeDecision.NONE)
+        assert not throttle.holding
+        assert throttle.counter == 0
+
+    def test_default_paper_configuration(self):
+        throttle = ResizeThrottle()
+        assert throttle.config.counter_bits == 3
+        assert throttle.config.hold_intervals == 10
+
+    def test_reset_clears_everything(self):
+        throttle = ResizeThrottle(ThrottleConfig(counter_bits=1, hold_intervals=5))
+        oscillate(throttle, reversals=3)
+        throttle.reset()
+        assert not throttle.holding
+        assert throttle.counter == 0
+        assert throttle.downsize_allowed()

@@ -1,0 +1,92 @@
+"""Tests for the instruction-trace container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.trace import InstructionTrace
+
+
+def make_trace(num_lines: int = 100) -> InstructionTrace:
+    addresses = (np.arange(num_lines, dtype=np.uint64) % 16) * 32
+    return InstructionTrace(name="toy", line_addresses=addresses)
+
+
+class TestProperties:
+    def test_lengths_and_instruction_counts(self):
+        trace = make_trace(100)
+        assert len(trace) == 100
+        assert trace.num_accesses == 100
+        assert trace.num_instructions == 800
+
+    def test_footprint(self):
+        trace = make_trace(100)
+        assert trace.footprint_lines == 16
+        assert trace.footprint_bytes == 16 * 32
+
+    def test_iteration_yields_ints(self):
+        trace = make_trace(5)
+        values = list(trace)
+        assert len(values) == 5
+        assert all(isinstance(value, int) for value in values)
+
+    def test_addresses_list_matches_array(self):
+        trace = make_trace(10)
+        assert trace.addresses() == trace.line_addresses.tolist()
+
+    def test_empty_trace_footprint(self):
+        trace = InstructionTrace(name="empty", line_addresses=np.empty(0, dtype=np.uint64))
+        assert trace.footprint_lines == 0
+        assert trace.num_instructions == 0
+
+
+class TestValidation:
+    def test_rejects_bad_instructions_per_line(self):
+        with pytest.raises(ValueError):
+            InstructionTrace("x", np.zeros(1, dtype=np.uint64), instructions_per_line=0)
+
+    def test_rejects_bad_line_size(self):
+        with pytest.raises(ValueError):
+            InstructionTrace("x", np.zeros(1, dtype=np.uint64), line_size=33)
+
+    def test_rejects_two_dimensional_addresses(self):
+        with pytest.raises(ValueError):
+            InstructionTrace("x", np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestSlicing:
+    def test_prefix_by_instructions(self):
+        trace = make_trace(100)
+        prefix = trace.prefix(80)
+        assert prefix.num_accesses == 10
+        assert prefix.num_instructions == 80
+
+    def test_prefix_rounds_up_partial_line(self):
+        trace = make_trace(100)
+        assert trace.prefix(9).num_accesses == 2
+
+    def test_prefix_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_trace().prefix(-1)
+
+    def test_split_preserves_total_length(self):
+        trace = make_trace(103)
+        pieces = trace.split(4)
+        assert sum(len(piece) for piece in pieces) == 103
+
+    def test_split_rejects_zero_pieces(self):
+        with pytest.raises(ValueError):
+            make_trace().split(0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = make_trace(50)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = InstructionTrace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.instructions_per_line == trace.instructions_per_line
+        assert loaded.line_size == trace.line_size
+        assert np.array_equal(loaded.line_addresses, trace.line_addresses)

@@ -1,0 +1,120 @@
+"""Tests for the analytical transistor leakage/drive model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit.technology import DEFAULT_TECHNOLOGY, TechnologyNode
+from repro.circuit.transistor import DeviceType, Transistor, stacked_leakage_na
+
+
+def nmos(vt: float = 0.2, width: float = 1.0) -> Transistor:
+    return Transistor(DeviceType.NMOS, vt, width)
+
+
+def pmos(vt: float = 0.2, width: float = 1.0) -> Transistor:
+    return Transistor(DeviceType.PMOS, vt, width)
+
+
+class TestSubthresholdLeakage:
+    def test_leakage_decreases_with_higher_vt(self):
+        assert nmos(0.4).subthreshold_current_na() < nmos(0.2).subthreshold_current_na()
+
+    def test_leakage_ratio_tracks_technology_model(self):
+        ratio = nmos(0.2).subthreshold_current_na() / nmos(0.4).subthreshold_current_na()
+        expected = DEFAULT_TECHNOLOGY.leakage_ratio(0.4, 0.2)
+        assert ratio == pytest.approx(expected, rel=1e-6)
+
+    def test_leakage_scales_linearly_with_width(self):
+        assert nmos(width=4.0).subthreshold_current_na() == pytest.approx(
+            4.0 * nmos(width=1.0).subthreshold_current_na(), rel=1e-9
+        )
+
+    def test_pmos_leaks_less_than_nmos(self):
+        assert pmos().subthreshold_current_na() < nmos().subthreshold_current_na()
+
+    def test_negative_vgs_reduces_leakage(self):
+        device = nmos()
+        assert device.subthreshold_current_na(vgs=-0.1) < device.subthreshold_current_na(vgs=0.0)
+
+    def test_small_vds_reduces_leakage(self):
+        device = nmos()
+        assert device.subthreshold_current_na(vds=0.01) < device.subthreshold_current_na(vds=1.0)
+
+    def test_zero_vds_gives_zero_leakage(self):
+        assert nmos().subthreshold_current_na(vds=0.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_negative_vds(self):
+        with pytest.raises(ValueError):
+            nmos().subthreshold_current_na(vds=-0.1)
+
+    def test_leakage_energy_per_cycle_units(self):
+        device = nmos()
+        power_nw = device.leakage_power_nw()
+        # 1 nW over 1 ns is 1e-9 nJ.
+        assert device.leakage_energy_per_cycle_nj(1.0) == pytest.approx(power_nw * 1e-9)
+
+    def test_leakage_energy_rejects_bad_cycle_time(self):
+        with pytest.raises(ValueError):
+            nmos().leakage_energy_per_cycle_nj(0.0)
+
+
+class TestDriveAndDelay:
+    def test_on_current_increases_with_width(self):
+        assert nmos(width=2.0).on_current_ua() > nmos(width=1.0).on_current_ua()
+
+    def test_on_current_decreases_with_vt(self):
+        assert nmos(0.4).on_current_ua() < nmos(0.2).on_current_ua()
+
+    def test_relative_delay_of_nominal_device_is_one(self):
+        assert nmos(DEFAULT_TECHNOLOGY.nominal_vt).relative_delay() == pytest.approx(1.0)
+
+    def test_relative_delay_high_vt_matches_table2(self):
+        # Table 2: a 0.4 V cell reads ~2.22x slower than a 0.2 V cell.
+        assert nmos(0.4).relative_delay() == pytest.approx(2.22, rel=0.05)
+
+    def test_effective_resistance_falls_with_width(self):
+        assert (
+            nmos(0.4, width=10.0).effective_resistance_relative()
+            < nmos(0.4, width=1.0).effective_resistance_relative()
+        )
+
+
+class TestValidation:
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            Transistor(DeviceType.NMOS, 0.2, 0.0)
+
+    def test_rejects_vt_outside_supply(self):
+        with pytest.raises(ValueError):
+            Transistor(DeviceType.NMOS, 1.5, 1.0)
+
+
+class TestStackingEffect:
+    def test_stacked_leakage_much_lower_than_single_device(self):
+        upper = nmos(0.2, width=2.0)
+        lower = nmos(0.2, width=2.0)
+        single = lower.subthreshold_current_na()
+        stacked = stacked_leakage_na(upper, lower)
+        # Two identical stacked devices leak several times less than one
+        # (the model captures Vds collapse, DIBL loss, and reverse gate
+        # bias; the full order-of-magnitude reduction additionally needs a
+        # high-Vt device in the stack, as in the gated-Vdd configuration).
+        assert stacked < single / 2.5
+
+    def test_stacked_high_vt_footer_cuts_leakage_by_orders_of_magnitude(self):
+        cell_device = nmos(0.2, width=2.0)
+        footer = nmos(0.4, width=2.0)
+        stacked = stacked_leakage_na(cell_device, footer)
+        assert stacked < cell_device.subthreshold_current_na() / 15.0
+
+    def test_stacked_leakage_limited_by_weaker_device(self):
+        strong = nmos(0.2, width=10.0)
+        weak = nmos(0.4, width=1.0)
+        stacked = stacked_leakage_na(strong, weak)
+        assert stacked <= weak.subthreshold_current_na() * 1.05
+
+    def test_stack_requires_matching_supply(self):
+        other_tech = TechnologyNode(supply_voltage=0.9)
+        with pytest.raises(ValueError):
+            stacked_leakage_na(nmos(), Transistor(DeviceType.NMOS, 0.2, 1.0, other_tech))

@@ -1,0 +1,141 @@
+"""Tests for the workload phase models and the SPEC95 registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
+from repro.workloads.spec95 import (
+    all_benchmarks,
+    benchmark_names,
+    benchmarks_in_class,
+    get_benchmark,
+)
+
+
+class TestLoopSpec:
+    def test_valid_loop(self):
+        loop = LoopSpec(size_fraction=0.5, weight=1.0)
+        assert loop.repeats == 4
+        assert not loop.aliased
+
+    def test_rejects_zero_size_fraction(self):
+        with pytest.raises(ValueError):
+            LoopSpec(size_fraction=0.0, weight=1.0)
+
+    def test_rejects_size_fraction_above_one(self):
+        with pytest.raises(ValueError):
+            LoopSpec(size_fraction=1.5, weight=1.0)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            LoopSpec(size_fraction=0.5, weight=0.0)
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            LoopSpec(size_fraction=0.5, weight=1.0, repeats=0)
+
+
+class TestPhaseSpec:
+    def test_normalized_weights_sum_to_one(self):
+        phase = PhaseSpec(
+            name="p",
+            footprint_bytes=4096,
+            duration_fraction=1.0,
+            loops=(LoopSpec(0.5, 3.0), LoopSpec(0.2, 1.0)),
+        )
+        assert sum(phase.normalized_weights) == pytest.approx(1.0)
+
+    def test_rejects_tiny_footprint(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="p", footprint_bytes=16, duration_fraction=1.0)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="p", footprint_bytes=4096, duration_fraction=0.0)
+
+    def test_rejects_scatter_rate_of_one(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="p", footprint_bytes=4096, duration_fraction=1.0, scatter_rate=1.0)
+
+    def test_rejects_empty_loops(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(name="p", footprint_bytes=4096, duration_fraction=1.0, loops=())
+
+
+class TestWorkloadSpec:
+    def test_durations_must_sum_to_one(self):
+        phase = PhaseSpec(name="p", footprint_bytes=4096, duration_fraction=0.4)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="bad", benchmark_class=BenchmarkClass.PHASED, phases=[phase])
+
+    def test_footprint_extremes(self):
+        spec = get_benchmark("hydro2d")
+        assert spec.min_footprint_bytes < spec.max_footprint_bytes
+
+    def test_rejects_non_positive_cpi(self):
+        phase = PhaseSpec(name="p", footprint_bytes=4096, duration_fraction=1.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                name="bad",
+                benchmark_class=BenchmarkClass.SMALL_FOOTPRINT,
+                phases=[phase],
+                base_cpi=0.0,
+            )
+
+
+class TestRegistry:
+    def test_fifteen_benchmarks(self):
+        assert len(benchmark_names()) == 15
+        assert len(all_benchmarks()) == 15
+
+    def test_names_match_paper_suite(self):
+        expected = {
+            "applu",
+            "compress",
+            "li",
+            "mgrid",
+            "swim",
+            "apsi",
+            "fpppp",
+            "go",
+            "m88ksim",
+            "perl",
+            "gcc",
+            "hydro2d",
+            "ijpeg",
+            "su2cor",
+            "tomcatv",
+        }
+        assert set(benchmark_names()) == expected
+
+    def test_class_membership_matches_section53(self):
+        class1 = {spec.name for spec in benchmarks_in_class(BenchmarkClass.SMALL_FOOTPRINT)}
+        class2 = {spec.name for spec in benchmarks_in_class(BenchmarkClass.LARGE_FOOTPRINT)}
+        class3 = {spec.name for spec in benchmarks_in_class(BenchmarkClass.PHASED)}
+        assert class1 == {"applu", "compress", "li", "mgrid", "swim"}
+        assert class2 == {"apsi", "fpppp", "go", "m88ksim", "perl"}
+        assert class3 == {"gcc", "hydro2d", "ijpeg", "su2cor", "tomcatv"}
+
+    def test_class1_footprints_are_small(self):
+        for spec in benchmarks_in_class(BenchmarkClass.SMALL_FOOTPRINT):
+            assert spec.max_footprint_bytes <= 8 * 1024
+
+    def test_class2_footprints_are_large(self):
+        for spec in benchmarks_in_class(BenchmarkClass.LARGE_FOOTPRINT):
+            assert spec.max_footprint_bytes >= 16 * 1024
+
+    def test_fpppp_needs_nearly_full_cache(self):
+        assert get_benchmark("fpppp").max_footprint_bytes >= 48 * 1024
+
+    def test_phased_benchmarks_have_multiple_phases(self):
+        for spec in benchmarks_in_class(BenchmarkClass.PHASED):
+            assert len(spec.phases) >= 2
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("vortex")
+
+    def test_base_cpi_within_issue_width(self):
+        for spec in all_benchmarks():
+            assert 0.1 < spec.base_cpi < 2.0
