@@ -1,0 +1,153 @@
+"""Engine throughput bench: scalar vs. batched replay, serial vs. parallel sweeps.
+
+Times the two replay engines on the paper's conventional 64K direct-mapped
+baseline and on a DRI run, and times the Figure 3 style parameter grid at
+several worker counts, then writes the numbers to
+``benchmarks/results/BENCH_engine.json`` so the performance trajectory is
+tracked across PRs.  The JSON schema:
+
+.. code-block:: json
+
+    {
+      "replay": {
+        "conventional": {"scalar_accesses_per_s": ..., "batched_accesses_per_s": ...,
+                          "speedup": ...},
+        "dri":          {"scalar_accesses_per_s": ..., ...}
+      },
+      "sweep": {"grid_points": 16, "wall_clock_s": {"jobs=1": ..., "jobs=2": ...}}
+    }
+
+Run standalone (``python benchmarks/bench_engine_throughput.py [--quick]``)
+or through the pytest-benchmark harness (``pytest benchmarks/ --benchmark-only``);
+both verify that the batched engine stays bit-identical to the scalar one
+and at least 5x faster on the conventional baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from _shared import RESULTS_DIR
+
+from repro.config.parameters import DRIParameters
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+
+BENCHMARK = "li"
+TRACE_INSTRUCTIONS = 600_000
+SENSE_INTERVAL = 12_500
+REPEATS = 3
+SPEEDUP_FLOOR = 5.0
+"""Acceptance floor for the conventional-baseline replay speedup."""
+
+
+def _time_replay(simulator: Simulator, run, repeats: int = REPEATS) -> tuple:
+    """Best-of-``repeats`` wall-clock and the last result of ``run()``."""
+    simulator.resolve_workload(BENCHMARK)  # trace generation out of the timing
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_replay(instructions: int, repeats: int = REPEATS) -> Dict[str, Dict[str, float]]:
+    """Accesses/second for both engines on conventional and DRI runs."""
+    parameters = DRIParameters(
+        miss_bound=40, size_bound=1024, sense_interval=SENSE_INTERVAL
+    )
+    out: Dict[str, Dict[str, float]] = {}
+    results = {}
+    for kind in ("conventional", "dri"):
+        row: Dict[str, float] = {}
+        for engine in ("scalar", "batched"):
+            simulator = Simulator(trace_instructions=instructions, engine=engine)
+            if kind == "conventional":
+                seconds, result = _time_replay(
+                    simulator, lambda: simulator.run_conventional(BENCHMARK), repeats
+                )
+            else:
+                seconds, result = _time_replay(
+                    simulator, lambda: simulator.run_dri(BENCHMARK, parameters), repeats
+                )
+            results[(kind, engine)] = result
+            row[f"{engine}_accesses_per_s"] = result.l1_accesses / seconds
+            row[f"{engine}_wall_clock_s"] = seconds
+        row["speedup"] = (
+            row["batched_accesses_per_s"] / row["scalar_accesses_per_s"]
+        )
+        out[kind] = row
+    # The engines must agree bit-for-bit or the speedup is meaningless.
+    for kind in ("conventional", "dri"):
+        scalar_result = results[(kind, "scalar")]
+        batched_result = results[(kind, "batched")]
+        assert scalar_result.l1_misses == batched_result.l1_misses, kind
+        assert scalar_result.cycles == batched_result.cycles, kind
+    return out
+
+
+def measure_sweep(instructions: int, jobs_values: Sequence[int]) -> Dict[str, object]:
+    """Wall-clock of one full parameter grid at each worker count.
+
+    The scalar engine is used so the per-point work is large enough for
+    process-level parallelism to show through; the batched engine makes
+    single points so cheap that pool startup dominates a 16-point grid.
+    """
+    wall_clock: Dict[str, float] = {}
+    grid_points: Optional[int] = None
+    for jobs in jobs_values:
+        simulator = Simulator(trace_instructions=instructions, engine="scalar")
+        sweep = ParameterSweep(
+            simulator, base_parameters=DRIParameters(sense_interval=SENSE_INTERVAL)
+        )
+        sweep.conventional_baseline(BENCHMARK)  # shared baseline out of the timing
+        start = time.perf_counter()
+        result = sweep.grid(BENCHMARK, jobs=jobs)
+        wall_clock[f"jobs={jobs}"] = time.perf_counter() - start
+        grid_points = len(result.points)
+    return {"grid_points": grid_points, "wall_clock_s": wall_clock}
+
+
+def run_bench(quick: bool = False) -> Dict[str, object]:
+    instructions = 150_000 if quick else TRACE_INSTRUCTIONS
+    payload = {
+        "benchmark": BENCHMARK,
+        "trace_instructions": instructions,
+        "replay": measure_replay(instructions),
+        "sweep": measure_sweep(instructions, jobs_values=(1, 2, 4)),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / "BENCH_engine.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def test_engine_throughput(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    print("\n" + json.dumps(payload, indent=2))
+    assert payload["replay"]["conventional"]["speedup"] >= SPEEDUP_FLOOR
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller traces")
+    args = parser.parse_args(argv)
+    payload = run_bench(quick=args.quick)
+    print(json.dumps(payload, indent=2))
+    speedup = payload["replay"]["conventional"]["speedup"]
+    print(f"\nconventional replay speedup: {speedup:.1f}x (floor {SPEEDUP_FLOOR}x)")
+    print(f"results written to {RESULTS_DIR / 'BENCH_engine.json'}")
+    return 0 if speedup >= SPEEDUP_FLOOR else 1
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).parent))
+    sys.exit(main())

@@ -17,9 +17,10 @@ Command       What it regenerates
 ============  ==========================================================
 
 The architectural commands accept ``--benchmarks`` (comma-separated
-names), ``--instructions`` (trace length), and ``--quick`` (a reduced
-scale for a fast sanity pass).  Output goes to stdout as the same text
-tables the benchmark harness writes under ``benchmarks/results/``.
+names), ``--instructions`` (trace length), ``--quick`` (a reduced scale
+for a fast sanity pass), and ``--jobs`` (worker processes for the
+parameter sweeps; 0 means all cores).  Output goes to stdout as the same
+text tables the benchmark harness writes under ``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -87,6 +88,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--quick",
         action="store_true",
         help="use the reduced quick scale (smaller traces and grids)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the parameter sweeps (0 = all cores, default 1)",
     )
 
 
@@ -158,33 +165,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     scale = _scale_from_args(args)
     benchmarks = _benchmarks_from_args(args)
+    jobs = args.jobs
     if args.command == "figure3":
-        print(format_figure3(figure3_experiment(benchmarks=benchmarks, scale=scale)))
+        print(format_figure3(figure3_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs)))
     elif args.command == "figure4":
         print(
             format_sensitivity(
-                figure4_experiment(benchmarks=benchmarks, scale=scale),
+                figure4_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
                 title="Figure 4: miss-bound at 0.5x / base / 2x",
             )
         )
     elif args.command == "figure5":
         print(
             format_sensitivity(
-                figure5_experiment(benchmarks=benchmarks, scale=scale),
+                figure5_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
                 title="Figure 5: size-bound at 2x / base / 0.5x",
             )
         )
     elif args.command == "figure6":
         print(
             format_sensitivity(
-                figure6_experiment(benchmarks=benchmarks, scale=scale),
+                figure6_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
                 title="Figure 6: 64K 4-way / 64K DM / 128K DM",
             )
         )
     elif args.command == "interval":
         print(
             format_sensitivity(
-                section56_interval_experiment(benchmarks=benchmarks, scale=scale),
+                section56_interval_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
                 title="Section 5.6: sense-interval length",
             )
         )

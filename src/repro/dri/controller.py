@@ -15,15 +15,19 @@ configuration) and a smaller one keeps the cache close to conventional
 behaviour ("conservative").
 
 Downsizing is limited by the size-bound and may be suppressed by the
-oscillation throttle; both resizing directions move the size by the
-divisibility factor.  The controller is pure policy: it owns no cache
-state, only the current size, and reports decisions that the DRI i-cache
-applies to its tag/data arrays.
+oscillation throttle; both resizing directions step along the reachable
+size ladder that :meth:`~repro.dri.mask.SizeMask.allowed_sizes` defines
+for the configured divisibility — the ladder is built from the size-bound
+up, so the controller and the mask always agree on the set of sizes the
+cache can occupy.  The controller is pure policy: it owns no cache state,
+only the current size, and reports decisions that the DRI i-cache applies
+to its tag/data arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 from repro.config.parameters import DRIParameters
 from repro.dri.mask import SizeMask
@@ -56,6 +60,9 @@ class ResizeController:
         self.mask = mask
         self.throttle = ResizeThrottle(parameters.throttle)
         self._current_size = mask.geometry.size_bytes
+        # The one reachable-size ladder shared with the mask: built from
+        # the size-bound up by the divisibility factor, full size included.
+        self._ladder = mask.allowed_sizes(parameters.divisibility)
 
     # ------------------------------------------------------------------
     # Queries
@@ -85,16 +92,21 @@ class ResizeController:
         """True when the cache is at its full size."""
         return self._current_size >= self.full_size
 
+    @property
+    def reachable_sizes(self) -> List[int]:
+        """The sizes the controller can step through, smallest to largest."""
+        return list(self._ladder)
+
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
     def _downsized(self) -> int:
-        smaller = self._current_size // self.parameters.divisibility
-        return max(smaller, self.parameters.size_bound)
+        smaller = [size for size in self._ladder if size < self._current_size]
+        return smaller[-1] if smaller else self._current_size
 
     def _upsized(self) -> int:
-        larger = self._current_size * self.parameters.divisibility
-        return min(larger, self.full_size)
+        larger = [size for size in self._ladder if size > self._current_size]
+        return larger[0] if larger else self._current_size
 
     def end_of_interval(self, miss_count: int) -> ResizeOutcome:
         """Apply the miss-bound rule for one finished sense interval."""

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.config.parameters import DRIParameters
 from repro.config.system import CacheGeometry
 from repro.dri.controller import ResizeController, ResizeOutcome
@@ -48,9 +50,16 @@ class DRIICache(Cache):
         Label for statistics reports.
     auto_interval:
         If true (default) the cache evaluates the resize decision by itself
-        every ``parameters.sense_interval`` accesses; if false the driver
-        must call :meth:`end_interval` explicitly (e.g. to align intervals
-        with instruction counts rather than fetch counts).
+        whenever the interval's accesses cover ``parameters.sense_interval``
+        *instructions* (each access stands for ``instructions_per_access``
+        instructions); if false the driver must call :meth:`end_interval`
+        explicitly.
+    instructions_per_access:
+        Dynamic instructions each cache access represents.  The paper
+        approximates one access per instruction (the default); trace-driven
+        simulation at fetch-line granularity passes the trace's
+        instructions-per-line so the sense interval means *instructions* in
+        both drive modes.
     """
 
     def __init__(
@@ -60,13 +69,20 @@ class DRIICache(Cache):
         name: str = "DRI-L1I",
         address_bits: int = 32,
         auto_interval: bool = True,
+        instructions_per_access: int = 1,
     ) -> None:
         super().__init__(geometry, name=name, replacement="lru")
+        if instructions_per_access < 1:
+            raise ValueError("instructions_per_access must be at least 1")
         self.parameters = parameters
         self.mask = SizeMask(geometry, parameters.size_bound, address_bits=address_bits)
         self.controller = ResizeController(parameters, self.mask)
         self.dri_stats = DRIStatistics(full_size_bytes=geometry.size_bytes)
         self.auto_interval = auto_interval
+        self.instructions_per_access = instructions_per_access
+        self._interval_length_accesses = max(
+            1, parameters.sense_interval // instructions_per_access
+        )
         self._interval_accesses = 0
         self._interval_misses = 0
         self._min_index_bits = self.mask.min_index_bits
@@ -94,6 +110,12 @@ class DRIICache(Cache):
         """Extra tag bits stored to support downsizing to the size-bound."""
         return self.mask.resizing_tag_bits
 
+    @property
+    def interval_length_accesses(self) -> int:
+        """Sense-interval length in accesses (the one conversion from the
+        instruction-denominated ``sense_interval``; drivers align on this)."""
+        return self._interval_length_accesses
+
     # ------------------------------------------------------------------
     # Access path
     # ------------------------------------------------------------------
@@ -107,9 +129,41 @@ class DRIICache(Cache):
         self._interval_accesses += 1
         if not result.hit:
             self._interval_misses += 1
-        if self.auto_interval and self._interval_accesses >= self.parameters.sense_interval:
+        if self.auto_interval and self._interval_accesses >= self._interval_length_accesses:
             self.end_interval()
         return result
+
+    def _access_batch_direct(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised lookup under the current size mask and min-size tags.
+
+        Chunks are split internally at sense-interval boundaries (in auto
+        mode) so batched and scalar driving see identical interval counts
+        and resize points; the active set count is re-read after every
+        boundary because a resize may have changed it.
+        """
+        total = addresses.shape[0]
+        hits = np.empty(total, dtype=bool)
+        position = 0
+        while position < total:
+            if self.auto_interval and self._interval_accesses >= self._interval_length_accesses:
+                self.end_interval()
+            take = total - position
+            if self.auto_interval:
+                take = min(take, self._interval_length_accesses - self._interval_accesses)
+            chunk = addresses[position : position + take]
+            block = (chunk >> np.uint64(self._offset_bits)).astype(np.int64)
+            set_indices = block & (self.controller.current_sets - 1)
+            tags = block >> self._min_index_bits
+            chunk_hits = self._classify_chunk(set_indices, tags)
+            misses = take - int(np.count_nonzero(chunk_hits))
+            self.dri_stats.record_accesses(take, misses)
+            self._interval_accesses += take
+            self._interval_misses += misses
+            hits[position : position + take] = chunk_hits
+            position += take
+            if self.auto_interval and self._interval_accesses >= self._interval_length_accesses:
+                self.end_interval()
+        return hits
 
     def contains(self, address: int) -> bool:
         """True if the block is resident under the *current* mapping."""
@@ -124,13 +178,14 @@ class DRIICache(Cache):
     def end_interval(self, instructions: Optional[int] = None) -> ResizeOutcome:
         """Close the current sense interval and apply the resize decision.
 
-        ``instructions`` defaults to the number of accesses in the interval
-        (the paper's approximation of one i-cache access per instruction).
+        ``instructions`` defaults to the interval's access count times
+        ``instructions_per_access`` (with the default of one access per
+        instruction this is the paper's approximation).
         """
         accesses = self._interval_accesses
         misses = self._interval_misses
         if instructions is None:
-            instructions = accesses
+            instructions = accesses * self.instructions_per_access
         size_during = self.controller.current_size
         outcome = self.controller.end_of_interval(misses)
         if outcome.decision is ResizeDecision.DOWNSIZE and outcome.changed:
@@ -168,7 +223,7 @@ class DRIICache(Cache):
         accesses = self._interval_accesses
         misses = self._interval_misses
         if instructions is None:
-            instructions = accesses
+            instructions = accesses * self.instructions_per_access
         self.dri_stats.record_interval(
             instructions=instructions,
             accesses=accesses,

@@ -59,6 +59,13 @@ class DRIStatistics:
         if not hit:
             self.misses += 1
 
+    def record_accesses(self, count: int, misses: int) -> None:
+        """Record a whole chunk of accesses at once (batched engine path)."""
+        if count < 0 or misses < 0 or misses > count:
+            raise ValueError("need 0 <= misses <= count")
+        self.accesses += count
+        self.misses += misses
+
     def record_interval(
         self,
         instructions: int,

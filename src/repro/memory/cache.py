@@ -10,6 +10,12 @@ Design notes
 * Tags are stored per set as ``{tag: way}`` dictionaries plus a parallel
   replacement-policy object, which keeps the common direct-mapped case a
   single dictionary probe per access.
+* Direct-mapped caches additionally keep a dense numpy tag array mirroring
+  the dictionaries, which :meth:`Cache.access_batch` uses to classify whole
+  chunks of accesses vectorised (the batched simulation engine's fast
+  path).  The dictionaries stay authoritative; the dense mirror is rebuilt
+  lazily after any scalar mutation, and both paths produce bit-identical
+  statistics.
 * Addresses are plain integers; the set index is extracted with shifts and
   masks derived from the geometry, exactly as hardware would.
 * The cache exposes ``invalidate_set`` and ``flush`` so the DRI i-cache can
@@ -21,6 +27,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.config.system import CacheGeometry
 from repro.memory.replacement import ReplacementPolicy, make_policy
@@ -107,14 +115,18 @@ class Cache:
         self._index_mask = self._num_sets - 1
         self._index_bits = self._num_sets.bit_length() - 1
         self._associativity = geometry.associativity
-        # Per-set tag stores: tag -> way, and way -> tag.
+        # Per-set tag stores: tag -> way, and way -> tag.  Way lists and
+        # replacement-policy objects are materialised lazily on first use:
+        # large, sparsely touched caches (the 1M L2 has 8192 sets) would
+        # otherwise spend more time constructing per-set state than the
+        # simulation spends accessing it.
         self._tags: List[Dict[int, int]] = [dict() for _ in range(self._num_sets)]
-        self._way_tags: List[List[Optional[int]]] = [
-            [None] * self._associativity for _ in range(self._num_sets)
-        ]
-        self._policies: List[ReplacementPolicy] = [
-            make_policy(replacement, self._associativity) for _ in range(self._num_sets)
-        ]
+        self._way_tags: List[Optional[List[Optional[int]]]] = [None] * self._num_sets
+        self._policies: List[Optional[ReplacementPolicy]] = [None] * self._num_sets
+        # Dense mirror of the per-set tags for the direct-mapped batched
+        # path (-1 = invalid).  Built lazily; dropped whenever the scalar
+        # path mutates a set behind its back.
+        self._dense_tags: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Address decomposition
@@ -146,6 +158,22 @@ class Cache:
         tag = block >> self._index_bits
         return self._access_set(set_index, tag)
 
+    def _set_policy(self, set_index: int) -> ReplacementPolicy:
+        """The set's replacement policy, materialised on first use."""
+        policy = self._policies[set_index]
+        if policy is None:
+            policy = make_policy(self.replacement_name, self._associativity)
+            self._policies[set_index] = policy
+        return policy
+
+    def _set_way_tags(self, set_index: int) -> List[Optional[int]]:
+        """The set's way -> tag list, materialised on first use."""
+        way_tags = self._way_tags[set_index]
+        if way_tags is None:
+            way_tags = [None] * self._associativity
+            self._way_tags[set_index] = way_tags
+        return way_tags
+
     def _access_set(self, set_index: int, tag: int) -> AccessResult:
         """Access a specific set with a pre-computed tag (used by subclasses)."""
         self.stats.accesses += 1
@@ -153,7 +181,7 @@ class Cache:
         way = tag_store.get(tag)
         if way is not None:
             self.stats.hits += 1
-            self._policies[set_index].touch(way)
+            self._set_policy(set_index).touch(way)
             return AccessResult(hit=True, set_index=set_index, tag=tag)
         self.stats.misses += 1
         evicted = self._fill(set_index, tag)
@@ -161,9 +189,10 @@ class Cache:
 
     def _fill(self, set_index: int, tag: int) -> Optional[int]:
         """Place ``tag`` into ``set_index``, evicting a victim if needed."""
+        self._dense_tags = None
         tag_store = self._tags[set_index]
-        way_tags = self._way_tags[set_index]
-        policy = self._policies[set_index]
+        way_tags = self._set_way_tags(set_index)
+        policy = self._set_policy(set_index)
         evicted: Optional[int] = None
         # Prefer an empty way.
         way = None
@@ -190,6 +219,106 @@ class Cache:
         return tag in self._tags[set_index]
 
     # ------------------------------------------------------------------
+    # Batched access (the simulation engine's fast path)
+    # ------------------------------------------------------------------
+    def access_batch(self, addresses: np.ndarray) -> np.ndarray:
+        """Look up a whole chunk of addresses; returns a boolean hit mask.
+
+        Statistics (accesses, hits, misses, evictions) and the resulting
+        cache contents are bit-identical to calling :meth:`access` on each
+        address in order.  Direct-mapped caches take a vectorised numpy
+        path; set-associative caches fall back to the scalar loop (their
+        replacement state is inherently sequential).
+        """
+        addresses = np.ascontiguousarray(addresses, dtype=np.uint64)
+        if addresses.ndim != 1:
+            raise ValueError("addresses must be a one-dimensional array")
+        if self._associativity == 1:
+            return self._access_batch_direct(addresses)
+        return self._access_batch_generic(addresses)
+
+    def _access_batch_generic(self, addresses: np.ndarray) -> np.ndarray:
+        """Scalar fallback: full access semantics, one address at a time."""
+        hits = np.empty(addresses.shape[0], dtype=bool)
+        access = self.access
+        for position, address in enumerate(addresses.tolist()):
+            hits[position] = access(address).hit
+        return hits
+
+    def _access_batch_direct(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorised direct-mapped lookup over full-size index/tag bits."""
+        block = (addresses >> np.uint64(self._offset_bits)).astype(np.int64)
+        set_indices = block & self._index_mask
+        tags = block >> self._index_bits
+        return self._classify_chunk(set_indices, tags)
+
+    def _ensure_dense_tags(self) -> np.ndarray:
+        """(Re)build the dense direct-mapped tag mirror from the dictionaries."""
+        if self._dense_tags is None:
+            dense = np.full(self._num_sets, -1, dtype=np.int64)
+            for set_index, tag_store in enumerate(self._tags):
+                if tag_store:
+                    dense[set_index] = next(iter(tag_store))
+            self._dense_tags = dense
+        return self._dense_tags
+
+    def _classify_chunk(self, set_indices: np.ndarray, tags: np.ndarray) -> np.ndarray:
+        """Classify one chunk of (set, tag) probes and apply the fills.
+
+        Within a chunk, an access hits iff the nearest earlier access to
+        the same set carried the same tag — or, for the first access to a
+        set, iff the stored tag matches.  A stable sort by set groups each
+        set's probes in program order, which turns both rules into one
+        shifted comparison.  Only valid for direct-mapped caches.
+        """
+        count = set_indices.shape[0]
+        if count == 0:
+            return np.empty(0, dtype=bool)
+        dense = self._ensure_dense_tags()
+
+        order = np.argsort(set_indices, kind="stable")
+        sorted_sets = set_indices[order]
+        sorted_tags = tags[order]
+        same_set_as_previous = np.empty(count, dtype=bool)
+        same_set_as_previous[0] = False
+        same_set_as_previous[1:] = sorted_sets[1:] == sorted_sets[:-1]
+
+        previous_tag = np.empty(count, dtype=np.int64)
+        previous_tag[1:] = sorted_tags[:-1]
+        first_of_set = ~same_set_as_previous
+        previous_tag[first_of_set] = dense[sorted_sets[first_of_set]]
+
+        sorted_hits = previous_tag == sorted_tags
+        misses = count - int(np.count_nonzero(sorted_hits))
+        # A miss evicts iff the frame it fills held a valid block: either a
+        # previous in-chunk access left one there, or the stored tag was valid.
+        evictions = int(np.count_nonzero(~sorted_hits & (previous_tag >= 0)))
+
+        # The last probe of each set leaves its tag resident (a hit leaves
+        # the matching tag, a miss fills its own).
+        last_of_set = np.empty(count, dtype=bool)
+        last_of_set[-1] = True
+        last_of_set[:-1] = sorted_sets[:-1] != sorted_sets[1:]
+        final_sets = sorted_sets[last_of_set]
+        final_tags = sorted_tags[last_of_set]
+        dense[final_sets] = final_tags
+        for set_index, tag in zip(final_sets.tolist(), final_tags.tolist()):
+            tag_store = self._tags[set_index]
+            if tag_store:
+                tag_store.clear()
+            tag_store[tag] = 0
+            self._way_tags[set_index] = [tag]
+
+        self.stats.accesses += count
+        self.stats.hits += count - misses
+        self.stats.misses += misses
+        self.stats.evictions += evictions
+
+        hits = np.empty(count, dtype=bool)
+        hits[order] = sorted_hits
+        return hits
+
+    # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
     def invalidate_set(self, set_index: int) -> int:
@@ -199,9 +328,11 @@ class Cache:
         dropped = len(self._tags[set_index])
         if dropped:
             self._tags[set_index].clear()
-            self._way_tags[set_index] = [None] * self._associativity
-            self._policies[set_index].reset()
+            self._way_tags[set_index] = None
+            self._policies[set_index] = None
             self.stats.invalidations += dropped
+            if self._dense_tags is not None:
+                self._dense_tags[set_index] = -1
         return dropped
 
     def flush(self) -> int:

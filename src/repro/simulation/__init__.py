@@ -19,6 +19,13 @@ from repro.simulation.experiments import (
     table2_experiment,
     throttle_ablation_experiment,
 )
+from repro.simulation.engine import (
+    DEFAULT_CHUNK_ACCESSES,
+    replay,
+    replay_batched,
+    replay_scalar,
+    resolve_engine,
+)
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import Simulator
 from repro.simulation.sweep import (
@@ -47,6 +54,11 @@ __all__ = [
     "section56_divisibility_experiment",
     "section56_interval_experiment",
     "table2_experiment",
+    "DEFAULT_CHUNK_ACCESSES",
+    "replay",
+    "replay_batched",
+    "replay_scalar",
+    "resolve_engine",
     "SimulationResult",
     "Simulator",
     "DEFAULT_MISS_BOUNDS",

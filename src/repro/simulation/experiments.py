@@ -71,7 +71,7 @@ QUICK_SCALE = ExperimentScale(
 
 
 def _make_sweep(
-    scale: ExperimentScale, system: SystemConfig = DEFAULT_SYSTEM
+    scale: ExperimentScale, system: SystemConfig = DEFAULT_SYSTEM, jobs: int = 1
 ) -> ParameterSweep:
     simulator = Simulator(
         system=system, trace_instructions=scale.trace_instructions, seed=scale.seed
@@ -80,6 +80,7 @@ def _make_sweep(
         simulator=simulator,
         energy_model=EnergyModel(),
         base_parameters=scale.base_parameters(),
+        jobs=jobs,
     )
 
 
@@ -170,12 +171,13 @@ def figure3_experiment(
     scale: ExperimentScale = DEFAULT_SCALE,
     system: SystemConfig = DEFAULT_SYSTEM,
     sweep: Optional[ParameterSweep] = None,
+    jobs: int = 1,
 ) -> Figure3Result:
     """Best-case constrained and unconstrained energy-delay per benchmark."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, system)
+        sweep = _make_sweep(scale, system, jobs=jobs)
     result = Figure3Result()
     for name in benchmarks:
         grid = sweep.grid(name, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds)
@@ -238,10 +240,11 @@ def _sensitivity(
     vary: str,
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
+    jobs: int = 1,
 ) -> SensitivityResult:
     """Shared driver for Figures 4 and 5."""
     if sweep is None:
-        sweep = _make_sweep(scale, system)
+        sweep = _make_sweep(scale, system, jobs=jobs)
     result = SensitivityResult()
     for name in benchmarks:
         base_params = _base_parameters_for(sweep, scale, name, base_parameters)
@@ -263,6 +266,7 @@ def figure4_experiment(
     system: SystemConfig = DEFAULT_SYSTEM,
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
+    jobs: int = 1,
 ) -> SensitivityResult:
     """Vary the miss-bound to 0.5x, 1x, and 2x of the base configuration."""
     if benchmarks is None:
@@ -276,6 +280,7 @@ def figure4_experiment(
         vary="miss_bound",
         sweep=sweep,
         base_parameters=base_parameters,
+        jobs=jobs,
     )
 
 
@@ -285,6 +290,7 @@ def figure5_experiment(
     system: SystemConfig = DEFAULT_SYSTEM,
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
+    jobs: int = 1,
 ) -> SensitivityResult:
     """Vary the size-bound to 2x, 1x, and 0.5x of the base configuration."""
     if benchmarks is None:
@@ -298,6 +304,7 @@ def figure5_experiment(
         vary="size_bound",
         sweep=sweep,
         base_parameters=base_parameters,
+        jobs=jobs,
     )
 
 
@@ -308,6 +315,7 @@ def figure6_experiment(
     benchmarks: Optional[Sequence[str]] = None,
     scale: ExperimentScale = DEFAULT_SCALE,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
+    jobs: int = 1,
 ) -> SensitivityResult:
     """Compare 64K 4-way, 64K direct-mapped, and 128K direct-mapped DRI caches.
 
@@ -323,14 +331,14 @@ def figure6_experiment(
         "64K-DM": DEFAULT_SYSTEM.with_icache(64 * 1024, associativity=1),
         "128K-DM": DEFAULT_SYSTEM.with_icache(128 * 1024, associativity=1),
     }
-    base_sweep = _make_sweep(scale, configurations["64K-DM"])
+    base_sweep = _make_sweep(scale, configurations["64K-DM"], jobs=jobs)
     resolved_parameters: Dict[str, DRIParameters] = {}
     for name in benchmarks:
         resolved_parameters[name] = _base_parameters_for(base_sweep, scale, name, base_parameters)
 
     result = SensitivityResult()
     for label, system in configurations.items():
-        sweep = _make_sweep(scale, system)
+        sweep = _make_sweep(scale, system, jobs=jobs)
         scaled_constants = sweep.energy_model.constants.scaled_to_size(
             system.l1_icache.size_bytes
         )
@@ -443,12 +451,13 @@ def section56_interval_experiment(
     interval_factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0, 4.0),
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
+    jobs: int = 1,
 ) -> SensitivityResult:
     """Vary the sense-interval length around the base configuration."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, DEFAULT_SYSTEM)
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM, jobs=jobs)
     result = SensitivityResult()
     for name in benchmarks:
         base_params = _base_parameters_for(sweep, scale, name, base_parameters)

@@ -10,6 +10,11 @@ The simulator caches generated traces so a parameter sweep replays exactly
 the same reference stream for every configuration of a benchmark — the
 same methodology as the paper's (one SimpleScalar binary/input per
 benchmark, many cache configurations).
+
+The replay itself lives in :mod:`repro.simulation.engine`; the simulator
+is a thin wrapper that builds the caches and selects the scalar or the
+batched engine (``engine="auto"`` resolves to batched, which is
+bit-identical and an order of magnitude faster).
 """
 
 from __future__ import annotations
@@ -19,10 +24,11 @@ from typing import Dict, Optional, Tuple, Union
 
 from repro.config.parameters import DRIParameters
 from repro.config.system import DEFAULT_SYSTEM, SystemConfig
-from repro.cpu.pipeline import TimingModel
 from repro.dri.dri_cache import DRIICache
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.simulation.engine import replay as engine_replay
+from repro.simulation.engine import resolve_engine
 from repro.simulation.results import SimulationResult
 from repro.workloads.generator import generate_trace
 from repro.workloads.phases import WorkloadSpec
@@ -44,6 +50,11 @@ class Simulator:
     seed:
         Trace-generation seed (all configurations of one benchmark share
         the same trace).
+    engine:
+        Replay engine: ``"auto"`` (default, resolves to batched),
+        ``"batched"``, or ``"scalar"``.  The engines are bit-identical;
+        ``"scalar"`` exists as the semantic reference and for the
+        throughput benchmarks.
     """
 
     def __init__(
@@ -51,12 +62,14 @@ class Simulator:
         system: SystemConfig = DEFAULT_SYSTEM,
         trace_instructions: int = 600_000,
         seed: int = 2001,
+        engine: str = "auto",
     ) -> None:
         if trace_instructions < 1:
             raise ValueError("trace_instructions must be positive")
         self.system = system
         self.trace_instructions = trace_instructions
         self.seed = seed
+        self.engine = resolve_engine(engine)
         self._trace_cache: Dict[Tuple[str, int, int], InstructionTrace] = {}
 
     # ------------------------------------------------------------------
@@ -146,11 +159,23 @@ class Simulator:
     def run_dri(self, workload: WorkloadLike, parameters: DRIParameters) -> SimulationResult:
         """Simulate the DRI i-cache with the given adaptivity parameters."""
         trace, base_cpi = self.resolve_workload(workload)
+        return self.run_dri_trace(trace, base_cpi, parameters)
+
+    def run_dri_trace(
+        self, trace: InstructionTrace, base_cpi: float, parameters: DRIParameters
+    ) -> SimulationResult:
+        """Simulate the DRI i-cache on an already-resolved (trace, CPI) pair.
+
+        This is the work unit the parallel sweep ships to worker processes:
+        the trace is resolved (and serialised) once per benchmark, and each
+        worker replays it under different adaptivity parameters.
+        """
         icache = DRIICache(
             self.system.l1_icache,
             parameters,
             address_bits=self.system.address_bits,
             auto_interval=False,
+            instructions_per_access=trace.instructions_per_line,
         )
         hierarchy = MemoryHierarchy(self.system)
         cycles = self._run_trace(trace, icache, hierarchy, base_cpi, dri=parameters)
@@ -180,37 +205,12 @@ class Simulator:
         dri: Optional[DRIParameters],
     ) -> int:
         """Replay ``trace`` through ``icache``; returns the cycle count."""
-        timing = TimingModel(pipeline=self.system.pipeline, base_cpi=base_cpi)
-        l2_latency = self.system.l1_miss_penalty
-        memory_latency = l2_latency + self.system.l2_miss_penalty
-        instructions_per_line = trace.instructions_per_line
-
-        interval_accesses = 0
-        if dri is not None:
-            interval_accesses = max(1, dri.sense_interval // instructions_per_line)
-
-        access = icache.access
-        miss_l2 = 0
-        miss_memory = 0
-        since_interval = 0
-        dri_cache = icache if isinstance(icache, DRIICache) else None
-
-        for address in trace.addresses():
-            if not access(address).hit:
-                response = hierarchy.access_from_l1_miss(address)
-                if response.latency > l2_latency:
-                    miss_memory += 1
-                else:
-                    miss_l2 += 1
-            if dri_cache is not None:
-                since_interval += 1
-                if since_interval >= interval_accesses:
-                    dri_cache.end_interval(
-                        instructions=since_interval * instructions_per_line
-                    )
-                    since_interval = 0
-
-        timing.account_instructions(trace.num_instructions)
-        timing.account_fetch_misses(l2_latency, miss_l2)
-        timing.account_fetch_misses(memory_latency, miss_memory)
-        return timing.cycles
+        return engine_replay(
+            trace,
+            icache,
+            hierarchy,
+            base_cpi,
+            self.system,
+            dri=dri,
+            engine=self.engine,
+        )

@@ -15,24 +15,72 @@ one benchmark against a shared conventional baseline, producing a
 :class:`SweepResult` from which either regime's best configuration can be
 selected.  Figures 4 and 5 reuse the same machinery with fixed parameter
 scalings instead of a search.
+
+Grid points are independent simulations, so the sweep can fan them out
+over worker processes (``jobs`` in the constructor, or per call): the
+benchmark's trace is serialised once per worker via the pool initializer
+and every completed point lands in a per-(benchmark, geometry, parameters)
+memo, so repeated evaluations — the Figures 4–6 sensitivity studies all
+revisit the Figure 3 base points — never re-simulate.  A parallel grid
+returns exactly the same points, in the same order, as a serial one.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config.parameters import DRIParameters
+from repro.config.system import CacheGeometry, SystemConfig
 from repro.energy.comparison import PERFORMANCE_CONSTRAINT, ComparisonResult, compare_runs
 from repro.energy.model import EnergyModel
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import Simulator, WorkloadLike
+from repro.workloads.trace import InstructionTrace
 
 DEFAULT_MISS_BOUNDS = (10, 30, 80, 200)
 """Default miss-bound grid (misses per sense interval)."""
 
 DEFAULT_SIZE_BOUNDS = (1024, 4096, 16384, 65536)
 """Default size-bound grid (bytes)."""
+
+# ----------------------------------------------------------------------
+# Worker-process plumbing for parallel grids
+# ----------------------------------------------------------------------
+_worker_simulator: Optional[Simulator] = None
+_worker_trace: Optional[InstructionTrace] = None
+_worker_base_cpi: float = 0.75
+
+
+def _resolve_jobs(jobs: int) -> int:
+    """Normalise a jobs request: values below one mean "all cores"."""
+    if jobs < 1:
+        return max(1, os.cpu_count() or 1)
+    return jobs
+
+
+def _sweep_worker_init(
+    system: SystemConfig, trace: InstructionTrace, base_cpi: float, engine: str
+) -> None:
+    """Pool initializer: receive the benchmark's trace exactly once.
+
+    The trace (the big payload) travels to each worker through the
+    initializer, so the per-task messages carry only a
+    :class:`DRIParameters` — one serialisation per benchmark per worker
+    instead of one per grid point.
+    """
+    global _worker_simulator, _worker_trace, _worker_base_cpi
+    _worker_simulator = Simulator(system=system, engine=engine)
+    _worker_trace = trace
+    _worker_base_cpi = base_cpi
+
+
+def _sweep_worker_run(parameters: DRIParameters) -> SimulationResult:
+    """Pool task: simulate one DRI configuration of the initialised trace."""
+    assert _worker_simulator is not None and _worker_trace is not None
+    return _worker_simulator.run_dri_trace(_worker_trace, _worker_base_cpi, parameters)
 
 
 @dataclass(frozen=True)
@@ -96,18 +144,50 @@ class SweepResult:
 
 
 class ParameterSweep:
-    """Evaluates DRI parameter grids for benchmarks over a shared simulator."""
+    """Evaluates DRI parameter grids for benchmarks over a shared simulator.
+
+    Parameters
+    ----------
+    simulator / energy_model / base_parameters:
+        The shared simulation machinery (defaults match the paper's).
+    jobs:
+        Default worker-process count for :meth:`grid` and
+        :meth:`best_configuration`; 1 (the default) runs serially in
+        process, values below 1 mean "all cores".
+    """
 
     def __init__(
         self,
         simulator: Optional[Simulator] = None,
         energy_model: Optional[EnergyModel] = None,
         base_parameters: DRIParameters = DRIParameters(),
+        jobs: int = 1,
     ) -> None:
         self.simulator = simulator if simulator is not None else Simulator()
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.base_parameters = base_parameters
+        self.jobs = jobs
         self._conventional_cache: Dict[str, SimulationResult] = {}
+        self._dri_cache: Dict[
+            Tuple[str, CacheGeometry, DRIParameters], SimulationResult
+        ] = {}
+
+    def _dri_key(
+        self, trace: InstructionTrace, parameters: DRIParameters
+    ) -> Tuple[str, CacheGeometry, DRIParameters]:
+        """Memo key: one entry per (benchmark, i-cache geometry, parameters)."""
+        return (trace.name, self.simulator.system.l1_icache, parameters)
+
+    def _dri_result(
+        self, trace: InstructionTrace, base_cpi: float, parameters: DRIParameters
+    ) -> SimulationResult:
+        """Run (or reuse) the DRI simulation for one configuration."""
+        key = self._dri_key(trace, parameters)
+        cached = self._dri_cache.get(key)
+        if cached is None:
+            cached = self.simulator.run_dri_trace(trace, base_cpi, parameters)
+            self._dri_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -122,9 +202,16 @@ class ParameterSweep:
         return cached
 
     def evaluate(self, workload: WorkloadLike, parameters: DRIParameters) -> SweepPoint:
-        """Simulate one DRI configuration and compare it with the baseline."""
+        """Simulate one DRI configuration and compare it with the baseline.
+
+        Simulation results are memoized per (benchmark, geometry,
+        parameters), so re-evaluating a configuration — as the sensitivity
+        experiments do with each benchmark's base point — costs only the
+        energy comparison.
+        """
         conventional = self.conventional_baseline(workload)
-        dri_result = self.simulator.run_dri(workload, parameters)
+        trace, base_cpi = self.simulator.resolve_workload(workload)
+        dri_result = self._dri_result(trace, base_cpi, parameters)
         comparison = compare_runs(
             benchmark=dri_result.benchmark,
             dri_stats=dri_result.run_statistics(conventional),
@@ -195,24 +282,67 @@ class ParameterSweep:
     # ------------------------------------------------------------------
     # Grid sweep / search
     # ------------------------------------------------------------------
+    def _grid_parameters(
+        self, miss_bounds: Sequence[int], size_bounds: Sequence[int]
+    ) -> List[DRIParameters]:
+        """The grid's parameter list in evaluation order."""
+        full_size = self.simulator.system.l1_icache.size_bytes
+        parameters = []
+        for size_bound in size_bounds:
+            if size_bound > full_size:
+                continue
+            for miss_bound in miss_bounds:
+                parameters.append(
+                    replace(self.base_parameters, miss_bound=miss_bound, size_bound=size_bound)
+                )
+        return parameters
+
+    def _simulate_grid_parallel(
+        self,
+        trace: InstructionTrace,
+        base_cpi: float,
+        missing: Sequence[DRIParameters],
+        jobs: int,
+    ) -> None:
+        """Fan the not-yet-memoized grid points out over worker processes."""
+        workers = min(jobs, len(missing))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_sweep_worker_init,
+            initargs=(self.simulator.system, trace, base_cpi, self.simulator.engine),
+        ) as pool:
+            for parameters, result in zip(missing, pool.map(_sweep_worker_run, missing)):
+                self._dri_cache[self._dri_key(trace, parameters)] = result
+
     def grid(
         self,
         workload: WorkloadLike,
         miss_bounds: Sequence[int] = DEFAULT_MISS_BOUNDS,
         size_bounds: Sequence[int] = DEFAULT_SIZE_BOUNDS,
+        jobs: Optional[int] = None,
     ) -> SweepResult:
-        """Evaluate every (miss-bound, size-bound) pair in the grid."""
+        """Evaluate every (miss-bound, size-bound) pair in the grid.
+
+        ``jobs`` (default: the sweep's ``jobs`` attribute) sets the number
+        of worker processes; with more than one, the grid points that are
+        not already memoized are simulated in parallel.  The returned
+        points are identical to a serial sweep's, in the same order.
+        """
+        jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
         conventional = self.conventional_baseline(workload)
+        trace, base_cpi = self.simulator.resolve_workload(workload)
+        parameters_list = self._grid_parameters(miss_bounds, size_bounds)
+        if jobs > 1:
+            missing = [
+                parameters
+                for parameters in parameters_list
+                if self._dri_key(trace, parameters) not in self._dri_cache
+            ]
+            if len(missing) > 1:
+                self._simulate_grid_parallel(trace, base_cpi, missing, jobs)
         result = SweepResult(benchmark=conventional.benchmark, conventional=conventional)
-        full_size = self.simulator.system.l1_icache.size_bytes
-        for size_bound in size_bounds:
-            if size_bound > full_size:
-                continue
-            for miss_bound in miss_bounds:
-                parameters = replace(
-                    self.base_parameters, miss_bound=miss_bound, size_bound=size_bound
-                )
-                result.points.append(self.evaluate(workload, parameters))
+        for parameters in parameters_list:
+            result.points.append(self.evaluate(workload, parameters))
         return result
 
     def best_configuration(
@@ -221,9 +351,12 @@ class ParameterSweep:
         constrained: bool = True,
         miss_bounds: Sequence[int] = DEFAULT_MISS_BOUNDS,
         size_bounds: Sequence[int] = DEFAULT_SIZE_BOUNDS,
+        jobs: Optional[int] = None,
     ) -> Tuple[DRIParameters, SweepPoint]:
         """Search the grid and return the best parameters and their point."""
-        sweep = self.grid(workload, miss_bounds=miss_bounds, size_bounds=size_bounds)
+        sweep = self.grid(
+            workload, miss_bounds=miss_bounds, size_bounds=size_bounds, jobs=jobs
+        )
         best = sweep.best(constrained=constrained)
         if best is None:
             raise RuntimeError(f"no configurations evaluated for {sweep.benchmark}")

@@ -44,11 +44,24 @@ phase's first loop in a direct-mapped cache of that size."""
 
 
 def _phase_line_budget(spec: WorkloadSpec, total_lines: int) -> List[int]:
-    """Number of trace lines each phase contributes, in order."""
-    budgets = [int(round(phase.duration_fraction * total_lines)) for phase in spec.phases]
-    # Fix rounding drift so the budgets sum exactly to total_lines.
-    drift = total_lines - sum(budgets)
-    budgets[-1] += drift
+    """Number of trace lines each phase contributes, in order.
+
+    Budgets are apportioned by the largest-remainder method: every phase
+    gets the floor of its share and the leftover lines go to the phases
+    with the largest fractional remainders.  This keeps every budget
+    non-negative (dumping all rounding drift on the last phase could drive
+    it negative when many short phases round up, silently truncating the
+    trace) and guarantees the budgets sum exactly to ``total_lines``.
+    """
+    total_fraction = sum(phase.duration_fraction for phase in spec.phases)
+    raw = [phase.duration_fraction / total_fraction * total_lines for phase in spec.phases]
+    budgets = [int(share) for share in raw]
+    leftover = total_lines - sum(budgets)
+    by_remainder = sorted(
+        range(len(raw)), key=lambda index: (budgets[index] - raw[index], index)
+    )
+    for index in by_remainder[:leftover]:
+        budgets[index] += 1
     return budgets
 
 

@@ -90,6 +90,53 @@ class TestDecisionRule:
         assert outcome.changed
 
 
+class TestSizeLadder:
+    """Regression: the controller and the mask share one reachable-size ladder."""
+
+    def test_reachable_sizes_match_mask_allowed_sizes(self):
+        for divisibility, size_bound in ((2, 1024), (4, 2048), (4, 1024), (8, 1024)):
+            controller = make_controller(divisibility=divisibility, size_bound=size_bound)
+            assert controller.reachable_sizes == controller.mask.allowed_sizes(divisibility)
+
+    def test_downsizing_trajectory_walks_the_mask_ladder(self):
+        """With 64K full / 2K bound / divisibility 4 the ladder is
+        {2K, 8K, 32K, 64K}; the pre-fix controller walked {2K, 4K, 16K, 64K}
+        by dividing from the full size, visiting sizes the mask says are
+        unreachable."""
+        controller = make_controller(
+            miss_bound=1000, size_bound=2048, divisibility=4, hold_intervals=0
+        )
+        ladder = controller.mask.allowed_sizes(4)
+        visited = [controller.current_size]
+        for _ in range(10):
+            controller.end_of_interval(miss_count=0)
+            visited.append(controller.current_size)
+        assert set(visited) <= set(ladder)
+        assert visited[: len(ladder)] == sorted(ladder, reverse=True)
+
+    def test_upsizing_retraces_the_same_ladder(self):
+        controller = make_controller(
+            miss_bound=100, size_bound=2048, divisibility=4, hold_intervals=0
+        )
+        controller.force_size(2048)
+        visited = []
+        for _ in range(10):
+            controller.end_of_interval(miss_count=10_000)
+            visited.append(controller.current_size)
+        assert visited[:3] == [8 * 1024, 32 * 1024, 64 * 1024]
+
+    def test_off_ladder_forced_size_snaps_to_ladder(self):
+        controller = make_controller(
+            miss_bound=100, size_bound=1024, divisibility=4, hold_intervals=0
+        )
+        controller.force_size(8 * 1024)  # between ladder rungs 4K and 16K
+        outcome = controller.end_of_interval(miss_count=0)
+        assert outcome.new_size == 4 * 1024
+        controller.force_size(8 * 1024)
+        outcome = controller.end_of_interval(miss_count=10_000)
+        assert outcome.new_size == 16 * 1024
+
+
 class TestThrottleIntegration:
     def test_oscillation_eventually_blocks_downsizing(self):
         controller = make_controller(miss_bound=100, counter_bits=2, hold_intervals=5)

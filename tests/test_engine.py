@@ -1,0 +1,393 @@
+"""Tests for the batched simulation engine and the parallel sweep.
+
+The batched engine's contract is *bit-identical* statistics versus the
+scalar reference loop: same hit/miss/eviction counts, same DRI interval
+records and resize trajectories, same cycle totals.  These tests exercise
+that contract over the paper's benchmarks, random address streams, and a
+seeded grid of random workload/parameter combinations, plus the
+parallel-grid and engine-selection plumbing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.parameters import DRIParameters
+from repro.config.system import CacheGeometry, SystemConfig
+from repro.dri.dri_cache import DRIICache
+from repro.memory.cache import Cache
+from repro.simulation.engine import resolve_engine
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep
+from repro.workloads.generator import generate_trace
+from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
+from repro.workloads.spec95 import get_benchmark
+
+INSTRUCTIONS = 80_000
+SEED = 7
+
+
+def _cache_stats_tuple(stats):
+    return (stats.accesses, stats.hits, stats.misses, stats.evictions, stats.invalidations)
+
+
+def _interval_tuples(dri_stats):
+    return [
+        (
+            record.index,
+            record.instructions,
+            record.accesses,
+            record.misses,
+            record.size_bytes_during,
+            record.size_bytes_at_end,
+            record.resized,
+        )
+        for record in dri_stats.intervals
+    ]
+
+
+def _simulators():
+    scalar = Simulator(trace_instructions=INSTRUCTIONS, seed=SEED, engine="scalar")
+    batched = Simulator(trace_instructions=INSTRUCTIONS, seed=SEED, engine="batched")
+    return scalar, batched
+
+
+class TestEngineSelection:
+    def test_auto_resolves_to_batched(self):
+        assert resolve_engine("auto") == "batched"
+        assert Simulator(engine="auto").engine == "batched"
+
+    def test_explicit_engines_kept(self):
+        assert Simulator(engine="scalar").engine == "scalar"
+        assert Simulator(engine="batched").engine == "batched"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(engine="vectorised")
+
+
+class TestConventionalEquivalence:
+    @pytest.mark.parametrize("name", ["compress", "fpppp", "hydro2d"])
+    def test_conventional_runs_identical(self, name):
+        scalar, batched = _simulators()
+        a = scalar.run_conventional(name)
+        b = batched.run_conventional(name)
+        assert (a.l1_accesses, a.l1_misses) == (b.l1_accesses, b.l1_misses)
+        assert (a.l2_accesses, a.l2_misses) == (b.l2_accesses, b.l2_misses)
+        assert a.cycles == b.cycles
+
+    @pytest.mark.parametrize("size", [4 * 1024, 16 * 1024])
+    def test_fixed_size_runs_identical(self, size):
+        scalar, batched = _simulators()
+        a = scalar.run_fixed_size("swim", size)
+        b = batched.run_fixed_size("swim", size)
+        assert (a.l1_misses, a.l2_accesses, a.cycles) == (b.l1_misses, b.l2_accesses, b.cycles)
+
+    def test_set_associative_falls_back_to_scalar_semantics(self):
+        system = SystemConfig().with_icache(16 * 1024, associativity=4)
+        scalar = Simulator(system=system, trace_instructions=40_000, engine="scalar")
+        batched = Simulator(system=system, trace_instructions=40_000, engine="batched")
+        a = scalar.run_conventional("swim")
+        b = batched.run_conventional("swim")
+        assert (a.l1_misses, a.l2_accesses, a.cycles) == (b.l1_misses, b.l2_accesses, b.cycles)
+
+
+class TestDRIEquivalence:
+    @pytest.mark.parametrize("name", ["compress", "fpppp", "hydro2d"])
+    @pytest.mark.parametrize("miss_bound,size_bound", [(30, 1024), (80, 8192)])
+    def test_dri_runs_identical(self, name, miss_bound, size_bound):
+        parameters = DRIParameters(
+            miss_bound=miss_bound, size_bound=size_bound, sense_interval=5_000
+        )
+        scalar, batched = _simulators()
+        a = scalar.run_dri(name, parameters)
+        b = batched.run_dri(name, parameters)
+        assert (a.l1_accesses, a.l1_misses) == (b.l1_accesses, b.l1_misses)
+        assert (a.l2_accesses, a.l2_misses) == (b.l2_accesses, b.l2_misses)
+        assert a.cycles == b.cycles
+        assert a.dri_stats.accesses == b.dri_stats.accesses
+        assert a.dri_stats.misses == b.dri_stats.misses
+        assert a.dri_stats.size_trajectory() == b.dri_stats.size_trajectory()
+        assert _interval_tuples(a.dri_stats) == _interval_tuples(b.dri_stats)
+
+    def test_auto_interval_cache_without_dri_parameters_matches_across_engines(self):
+        """Regression: replay with a self-driving (auto-interval) DRI cache and
+        dri=None must defer to the cache's own interval machinery in both
+        engines — the scalar loop used to fire end_interval on every access."""
+        from repro.memory.hierarchy import MemoryHierarchy
+        from repro.simulation.engine import replay
+
+        trace = generate_trace(
+            get_benchmark("hydro2d"), total_instructions=40_000, seed=SEED
+        )
+        parameters = DRIParameters(miss_bound=30, size_bound=1024, sense_interval=5_000)
+        system = SystemConfig()
+        results = {}
+        for engine in ("scalar", "batched"):
+            icache = DRIICache(
+                system.l1_icache,
+                parameters,
+                auto_interval=True,
+                instructions_per_access=trace.instructions_per_line,
+            )
+            cycles = replay(
+                trace, icache, MemoryHierarchy(system), 0.75, system, dri=None, engine=engine
+            )
+            results[engine] = (
+                cycles,
+                icache.stats.misses,
+                icache.dri_stats.size_trajectory(),
+                len(icache.dri_stats.intervals),
+            )
+        assert results["scalar"] == results["batched"]
+        # The cache drove its own intervals: one per 5000 instructions.
+        assert results["scalar"][3] == 40_000 // 5_000 - 1 or results["scalar"][3] == 40_000 // 5_000
+
+    def test_seeded_random_workload_grid(self):
+        """Property check: random workloads x parameters agree across engines."""
+        rng = np.random.default_rng(2001)
+        for case in range(6):
+            num_phases = int(rng.integers(1, 4))
+            fractions = rng.dirichlet(np.ones(num_phases) * 4.0)
+            phases = [
+                PhaseSpec(
+                    name=f"phase{index}",
+                    footprint_bytes=int(rng.choice([2, 8, 24, 48])) * 1024,
+                    duration_fraction=float(fraction),
+                    loops=(
+                        LoopSpec(size_fraction=0.6, weight=0.7, repeats=int(rng.integers(2, 6))),
+                        LoopSpec(size_fraction=0.3, weight=0.3, repeats=2),
+                    ),
+                    scatter_rate=float(rng.choice([0.0, 0.02])),
+                )
+                for index, fraction in enumerate(fractions)
+            ]
+            spec = WorkloadSpec(
+                name=f"random-{case}",
+                benchmark_class=BenchmarkClass.PHASED,
+                phases=phases,
+            )
+            trace = generate_trace(spec, total_instructions=40_000, seed=int(rng.integers(1, 99)))
+            parameters = DRIParameters(
+                miss_bound=int(rng.integers(5, 120)),
+                size_bound=int(rng.choice([1024, 4096, 16384])),
+                sense_interval=int(rng.choice([2_000, 5_000, 11_000])),
+                divisibility=int(rng.choice([2, 4])),
+            )
+            scalar, batched = _simulators()
+            a = scalar.run_dri(trace, parameters)
+            b = batched.run_dri(trace, parameters)
+            assert (a.l1_misses, a.l2_accesses, a.cycles) == (
+                b.l1_misses,
+                b.l2_accesses,
+                b.cycles,
+            ), f"case {case} diverged"
+            assert a.dri_stats.size_trajectory() == b.dri_stats.size_trajectory()
+            assert _interval_tuples(a.dri_stats) == _interval_tuples(b.dri_stats)
+
+
+class TestAccessBatch:
+    def _random_addresses(self, rng, count=3_000, span=2**22):
+        return (rng.integers(0, span, size=count, dtype=np.uint64) // 32) * 32
+
+    def test_direct_mapped_batch_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        addresses = self._random_addresses(rng)
+        geometry = CacheGeometry(size_bytes=8 * 1024, block_size=32, associativity=1)
+        reference = Cache(geometry)
+        for address in addresses.tolist():
+            reference.access(address)
+        batched = Cache(geometry)
+        hits = batched.access_batch(addresses)
+        assert _cache_stats_tuple(batched.stats) == _cache_stats_tuple(reference.stats)
+        assert int(hits.sum()) == reference.stats.hits
+        # Final contents agree set by set.
+        assert batched._tags == reference._tags
+
+    def test_chunking_is_invariant(self):
+        rng = np.random.default_rng(13)
+        addresses = self._random_addresses(rng)
+        geometry = CacheGeometry(size_bytes=4 * 1024, block_size=32, associativity=1)
+        whole = Cache(geometry)
+        hits_whole = whole.access_batch(addresses)
+        pieces = Cache(geometry)
+        collected = [pieces.access_batch(chunk) for chunk in np.array_split(addresses, 7)]
+        assert np.array_equal(hits_whole, np.concatenate(collected))
+        assert _cache_stats_tuple(whole.stats) == _cache_stats_tuple(pieces.stats)
+
+    def test_mixed_scalar_and_batch_access(self):
+        """Scalar accesses between batches keep the dense mirror coherent."""
+        rng = np.random.default_rng(17)
+        addresses = self._random_addresses(rng, count=1_200)
+        geometry = CacheGeometry(size_bytes=2 * 1024, block_size=32, associativity=1)
+        mixed = Cache(geometry)
+        reference = Cache(geometry)
+        for address in addresses.tolist():
+            reference.access(address)
+        third = len(addresses) // 3
+        mixed.access_batch(addresses[:third])
+        for address in addresses[third : 2 * third].tolist():
+            mixed.access(address)
+        mixed.access_batch(addresses[2 * third :])
+        assert _cache_stats_tuple(mixed.stats) == _cache_stats_tuple(reference.stats)
+        assert mixed._tags == reference._tags
+
+    def test_batch_on_auto_interval_dri_cache_matches_scalar(self):
+        """Auto-interval DRI caches split batches at interval boundaries."""
+        rng = np.random.default_rng(19)
+        addresses = self._random_addresses(rng, count=2_500, span=2**18)
+        geometry = CacheGeometry(size_bytes=8 * 1024, block_size=32, associativity=1)
+        parameters = DRIParameters(miss_bound=20, size_bound=1024, sense_interval=300)
+        scalar_cache = DRIICache(geometry, parameters, auto_interval=True)
+        for address in addresses.tolist():
+            scalar_cache.access(address)
+        batched_cache = DRIICache(geometry, parameters, auto_interval=True)
+        batched_cache.access_batch(addresses)
+        assert _cache_stats_tuple(batched_cache.stats) == _cache_stats_tuple(scalar_cache.stats)
+        assert (
+            batched_cache.dri_stats.size_trajectory()
+            == scalar_cache.dri_stats.size_trajectory()
+        )
+        assert _interval_tuples(batched_cache.dri_stats) == _interval_tuples(
+            scalar_cache.dri_stats
+        )
+        assert batched_cache.current_size_bytes == scalar_cache.current_size_bytes
+
+    def test_empty_batch_is_a_noop(self):
+        cache = Cache(CacheGeometry(size_bytes=1024, block_size=32, associativity=1))
+        hits = cache.access_batch(np.empty(0, dtype=np.uint64))
+        assert hits.shape == (0,)
+        assert cache.stats.accesses == 0
+
+    def test_rejects_multidimensional_input(self):
+        cache = Cache(CacheGeometry(size_bytes=1024, block_size=32, associativity=1))
+        with pytest.raises(ValueError):
+            cache.access_batch(np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestSenseIntervalUnits:
+    """Regression: the sense interval means *instructions* in every drive mode."""
+
+    def test_auto_and_manual_driving_agree(self):
+        """Auto-interval driving matches the simulator's manual driving."""
+        trace = generate_trace(
+            get_benchmark("hydro2d"), total_instructions=INSTRUCTIONS, seed=SEED
+        )
+        parameters = DRIParameters(miss_bound=30, size_bound=1024, sense_interval=5_000)
+        per_line = trace.instructions_per_line
+
+        manual = DRIICache(
+            CacheGeometry(size_bytes=64 * 1024, associativity=1),
+            parameters,
+            auto_interval=False,
+            instructions_per_access=per_line,
+        )
+        interval_accesses = parameters.sense_interval // per_line
+        since = 0
+        for address in trace.addresses():
+            manual.access(address)
+            since += 1
+            if since >= interval_accesses:
+                manual.end_interval(instructions=since * per_line)
+                since = 0
+        auto = DRIICache(
+            CacheGeometry(size_bytes=64 * 1024, associativity=1),
+            parameters,
+            auto_interval=True,
+            instructions_per_access=per_line,
+        )
+        for address in trace.addresses():
+            auto.access(address)
+        assert auto.dri_stats.size_trajectory() == manual.dri_stats.size_trajectory()
+        assert _interval_tuples(auto.dri_stats) == _interval_tuples(manual.dri_stats)
+
+    def test_interval_length_is_in_instructions(self):
+        """With 8 instructions per access, an 800-instruction interval closes
+        after 100 accesses — not after 800 accesses as the pre-fix accounting
+        (an 8x discrepancy between drive modes) would have it."""
+        parameters = DRIParameters(miss_bound=10_000, size_bound=1024, sense_interval=800)
+        cache = DRIICache(
+            CacheGeometry(size_bytes=8 * 1024, associativity=1),
+            parameters,
+            auto_interval=True,
+            instructions_per_access=8,
+        )
+        for index in range(100):
+            cache.access(index * 32)
+        assert len(cache.dri_stats.intervals) == 1
+        assert cache.dri_stats.intervals[0].accesses == 100
+        assert cache.dri_stats.intervals[0].instructions == 800
+
+    def test_finalize_scales_instructions_by_access_width(self):
+        parameters = DRIParameters(miss_bound=10, size_bound=1024, sense_interval=8_000)
+        cache = DRIICache(
+            CacheGeometry(size_bytes=8 * 1024, associativity=1),
+            parameters,
+            auto_interval=False,
+            instructions_per_access=8,
+        )
+        for index in range(5):
+            cache.access(index * 32)
+        cache.finalize()
+        assert cache.dri_stats.intervals[0].instructions == 40
+
+    def test_rejects_non_positive_instructions_per_access(self):
+        with pytest.raises(ValueError):
+            DRIICache(
+                CacheGeometry(size_bytes=8 * 1024, associativity=1),
+                DRIParameters(),
+                instructions_per_access=0,
+            )
+
+
+class TestParallelSweep:
+    def _sweep(self, **kwargs) -> ParameterSweep:
+        simulator = Simulator(trace_instructions=INSTRUCTIONS, seed=SEED)
+        return ParameterSweep(
+            simulator, base_parameters=DRIParameters(sense_interval=5_000), **kwargs
+        )
+
+    def test_parallel_grid_matches_serial(self):
+        miss_bounds = (10, 80)
+        size_bounds = (1024, 8192, 65536)
+        serial = self._sweep().grid(
+            "compress", miss_bounds=miss_bounds, size_bounds=size_bounds
+        )
+        parallel = self._sweep().grid(
+            "compress", miss_bounds=miss_bounds, size_bounds=size_bounds, jobs=2
+        )
+        assert len(serial.points) == len(parallel.points)
+        for a, b in zip(serial.points, parallel.points):
+            assert a.parameters == b.parameters
+            assert a.simulation.l1_misses == b.simulation.l1_misses
+            assert a.simulation.cycles == b.simulation.cycles
+            assert a.energy_delay == pytest.approx(b.energy_delay, abs=0.0)
+            assert (
+                a.simulation.dri_stats.size_trajectory()
+                == b.simulation.dri_stats.size_trajectory()
+            )
+
+    def test_best_configuration_parallel_matches_serial(self):
+        miss_bounds = (10, 80)
+        size_bounds = (1024, 65536)
+        params_serial, point_serial = self._sweep().best_configuration(
+            "compress", miss_bounds=miss_bounds, size_bounds=size_bounds
+        )
+        params_parallel, point_parallel = self._sweep().best_configuration(
+            "compress", miss_bounds=miss_bounds, size_bounds=size_bounds, jobs=2
+        )
+        assert params_serial == params_parallel
+        assert point_serial.energy_delay == pytest.approx(point_parallel.energy_delay, abs=0.0)
+
+    def test_grid_memoizes_repeat_evaluations(self):
+        sweep = self._sweep()
+        sweep.grid("compress", miss_bounds=(10,), size_bounds=(1024,))
+        cached_before = len(sweep._dri_cache)
+        sweep.grid("compress", miss_bounds=(10,), size_bounds=(1024,))
+        assert len(sweep._dri_cache) == cached_before
+
+    def test_constructor_jobs_default_is_used(self):
+        sweep = self._sweep(jobs=2)
+        result = sweep.grid("compress", miss_bounds=(10, 80), size_bounds=(1024,))
+        assert len(result.points) == 2

@@ -102,6 +102,56 @@ class TestScatterAndAliasing:
         assert bool(np.any(offsets >= ALIAS_STRIDE_BYTES))
 
 
+class TestPhaseBudgets:
+    """Regression: rounding drift must never shorten (or lengthen) a trace."""
+
+    @staticmethod
+    def _many_short_phases() -> WorkloadSpec:
+        """38 phases of 2.51% plus a 4.62% tail: at 100 trace lines every
+        short phase's share (2.51 lines) rounds up, so round-then-dump-drift
+        -on-the-last-phase budgeting drove the tail's budget to -14 lines."""
+        fraction = 0.0251
+        count = 38
+        phases = [
+            PhaseSpec(name=f"p{index}", footprint_bytes=2048, duration_fraction=fraction)
+            for index in range(count)
+        ] + [
+            PhaseSpec(
+                name="tail", footprint_bytes=2048, duration_fraction=1.0 - fraction * count
+            )
+        ]
+        return WorkloadSpec(
+            name="pathological-split",
+            benchmark_class=BenchmarkClass.PHASED,
+            phases=phases,
+        )
+
+    def test_pathological_split_preserves_trace_length(self):
+        spec = self._many_short_phases()
+        total_instructions = 800  # 100 trace lines: the negative-budget case
+        trace = generate_trace(spec, total_instructions=total_instructions)
+        assert len(trace.line_addresses) == total_instructions // trace.instructions_per_line
+        assert trace.num_instructions == total_instructions
+
+    def test_budgets_are_non_negative_and_sum_exactly(self):
+        from repro.workloads.generator import _phase_line_budget
+
+        spec = self._many_short_phases()
+        for total_lines in (40, 100, 199, 1000):
+            budgets = _phase_line_budget(spec, total_lines)
+            assert all(budget >= 0 for budget in budgets)
+            assert sum(budgets) == total_lines
+
+    def test_two_phase_budgets_track_duration_fractions(self):
+        from repro.workloads.generator import _phase_line_budget
+
+        spec = get_benchmark("hydro2d")
+        budgets = _phase_line_budget(spec, 10_000)
+        assert sum(budgets) == 10_000
+        for phase, budget in zip(spec.phases, budgets):
+            assert budget == pytest.approx(phase.duration_fraction * 10_000, abs=1)
+
+
 class TestPhaseStructure:
     def test_phases_emit_in_order(self):
         spec = get_benchmark("hydro2d")  # init phase then compute phase
