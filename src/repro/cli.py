@@ -19,8 +19,11 @@ Command       What it regenerates
 The architectural commands accept ``--benchmarks`` (comma-separated
 names), ``--instructions`` (trace length), ``--quick`` (a reduced scale
 for a fast sanity pass), and ``--jobs`` (worker processes for the
-parameter sweeps; 0 means all cores).  Output goes to stdout as the same
-text tables the benchmark harness writes under ``benchmarks/results/``.
+parameter sweeps; 0 means all cores).  With more than one job the figure
+drivers flatten every (benchmark, grid point) pair into one process pool,
+so the pool stays saturated across benchmark boundaries.  Output goes to
+stdout as the same text tables the benchmark harness writes under
+``benchmarks/results/``.
 """
 
 from __future__ import annotations
@@ -93,7 +96,10 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--jobs",
         type=int,
         default=1,
-        help="worker processes for the parameter sweeps (0 = all cores, default 1)",
+        help=(
+            "worker processes for the parameter sweeps, pooled across "
+            "benchmarks (0 = all cores, default 1)"
+        ),
     )
 
 

@@ -133,13 +133,15 @@ class DRIICache(Cache):
             self.end_interval()
         return result
 
-    def _access_batch_direct(self, addresses: np.ndarray) -> np.ndarray:
+    def _access_batch_chunks(self, addresses: np.ndarray) -> np.ndarray:
         """Vectorised lookup under the current size mask and min-size tags.
 
         Chunks are split internally at sense-interval boundaries (in auto
         mode) so batched and scalar driving see identical interval counts
         and resize points; the active set count is re-read after every
-        boundary because a resize may have changed it.
+        boundary because a resize may have changed it.  The classification
+        itself is the base cache's (direct-mapped or wavefront
+        set-associative) over the masked indices.
         """
         total = addresses.shape[0]
         hits = np.empty(total, dtype=bool)
@@ -170,7 +172,7 @@ class DRIICache(Cache):
         block = self.block_address(address)
         set_index = block & (self.controller.current_sets - 1)
         tag = block >> self._min_index_bits
-        return tag in self._tags[set_index]
+        return bool((self._tag_plane[set_index] == tag).any())
 
     # ------------------------------------------------------------------
     # Interval handling
@@ -205,13 +207,7 @@ class DRIICache(Cache):
 
     def _disable_sets(self, new_size: int) -> None:
         """Invalidate the sets being gated off by a downsize to ``new_size``."""
-        new_sets = self.mask.sets_for_size(new_size)
-        old_sets = self.num_sets
-        # Only sets that still hold blocks need clearing: anything above the
-        # previous active-set count is already empty.
-        for set_index in range(new_sets, old_sets):
-            if self._tags[set_index]:
-                self.invalidate_set(set_index)
+        self.invalidate_range(self.mask.sets_for_size(new_size), self.num_sets)
 
     # ------------------------------------------------------------------
     # Run finalisation

@@ -9,11 +9,12 @@ from repro.memory.hierarchy import (
     ServiceLevel,
 )
 from repro.memory.replacement import (
-    FIFOPolicy,
-    LRUPolicy,
-    RandomPolicy,
-    ReplacementPolicy,
-    make_policy,
+    DEFAULT_RANDOM_SEED,
+    FIFOState,
+    LRUState,
+    RandomState,
+    ReplacementState,
+    make_replacement,
 )
 
 __all__ = [
@@ -25,9 +26,10 @@ __all__ = [
     "MainMemory",
     "MemoryHierarchy",
     "ServiceLevel",
-    "FIFOPolicy",
-    "LRUPolicy",
-    "RandomPolicy",
-    "ReplacementPolicy",
-    "make_policy",
+    "DEFAULT_RANDOM_SEED",
+    "FIFOState",
+    "LRUState",
+    "RandomState",
+    "ReplacementState",
+    "make_replacement",
 ]

@@ -1,4 +1,4 @@
-"""A generic set-associative cache model.
+"""A generic set-associative cache model on a dense tag-plane substrate.
 
 This is the substrate both the conventional i-cache baseline and the DRI
 i-cache build on.  The model is *functional* (it tracks which blocks are
@@ -7,15 +7,23 @@ the CPU model, and energy by :mod:`repro.energy`.
 
 Design notes
 ------------
-* Tags are stored per set as ``{tag: way}`` dictionaries plus a parallel
-  replacement-policy object, which keeps the common direct-mapped case a
-  single dictionary probe per access.
-* Direct-mapped caches additionally keep a dense numpy tag array mirroring
-  the dictionaries, which :meth:`Cache.access_batch` uses to classify whole
-  chunks of accesses vectorised (the batched simulation engine's fast
-  path).  The dictionaries stay authoritative; the dense mirror is rebuilt
-  lazily after any scalar mutation, and both paths produce bit-identical
-  statistics.
+* The tag store is a dense ``(num_sets, associativity)`` int64 **tag
+  plane** (-1 = invalid frame), with a parallel cache-wide replacement
+  state (:mod:`repro.memory.replacement`): LRU recency ranks, FIFO
+  next-way pointers, or per-set LCG states, all held in numpy arrays
+  parallel to the plane.  There are no per-set Python objects, so the
+  batched path can classify and fill whole chunks of accesses without
+  entering the interpreter per address.
+* :meth:`Cache.access_batch` classifies a chunk vectorised at any
+  associativity.  Direct-mapped caches use a single shifted comparison
+  over the set-sorted chunk; set-associative caches process the chunk in
+  *wavefronts* — the k-th access of every touched set is independent of
+  every other set's, so each wavefront is one vectorised probe/fill step
+  over distinct sets.  Sets hammered far more often than the rest of the
+  chunk (a tight loop in one set) fall out of the wavefronts early and
+  are finished by the scalar tail, keeping the vector width useful.
+* Both paths are bit-identical to calling :meth:`Cache.access` per
+  address, including statistics, eviction counts, and final contents.
 * Addresses are plain integers; the set index is extracted with shifts and
   masks derived from the geometry, exactly as hardware would.
 * The cache exposes ``invalidate_set`` and ``flush`` so the DRI i-cache can
@@ -25,13 +33,18 @@ Design notes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.config.system import CacheGeometry
-from repro.memory.replacement import ReplacementPolicy, make_policy
+from repro.memory.replacement import DEFAULT_RANDOM_SEED, make_replacement
+
+MIN_WAVEFRONT_SETS = 8
+"""Below this many still-active sets, a wavefront stops paying for numpy
+dispatch and the set-associative classifier finishes the chunk's remaining
+(heavily skewed) sets with the scalar tail."""
 
 
 @dataclass
@@ -98,6 +111,10 @@ class Cache:
         Label used in statistics reports (e.g. ``"L1I"``).
     replacement:
         Replacement policy name ("lru", "fifo", or "random").
+    replacement_seed:
+        Seed of the per-set LCGs when ``replacement="random"`` (kept by
+        ``invalidate_set``/``flush``, so a re-enabled set's victim stream
+        matches a fresh cache built with the same seed).
     """
 
     def __init__(
@@ -105,6 +122,7 @@ class Cache:
         geometry: CacheGeometry,
         name: str = "cache",
         replacement: str = "lru",
+        replacement_seed: int = DEFAULT_RANDOM_SEED,
     ) -> None:
         self.geometry = geometry
         self.name = name
@@ -115,18 +133,12 @@ class Cache:
         self._index_mask = self._num_sets - 1
         self._index_bits = self._num_sets.bit_length() - 1
         self._associativity = geometry.associativity
-        # Per-set tag stores: tag -> way, and way -> tag.  Way lists and
-        # replacement-policy objects are materialised lazily on first use:
-        # large, sparsely touched caches (the 1M L2 has 8192 sets) would
-        # otherwise spend more time constructing per-set state than the
-        # simulation spends accessing it.
-        self._tags: List[Dict[int, int]] = [dict() for _ in range(self._num_sets)]
-        self._way_tags: List[Optional[List[Optional[int]]]] = [None] * self._num_sets
-        self._policies: List[Optional[ReplacementPolicy]] = [None] * self._num_sets
-        # Dense mirror of the per-set tags for the direct-mapped batched
-        # path (-1 = invalid).  Built lazily; dropped whenever the scalar
-        # path mutates a set behind its back.
-        self._dense_tags: Optional[np.ndarray] = None
+        # The dense substrate: one int64 tag per block frame (-1 = invalid)
+        # plus the cache-wide replacement state arrays parallel to it.
+        self._tag_plane = np.full((self._num_sets, self._associativity), -1, dtype=np.int64)
+        self._policy = make_replacement(
+            replacement, self._num_sets, self._associativity, seed=replacement_seed
+        )
 
     # ------------------------------------------------------------------
     # Address decomposition
@@ -158,65 +170,50 @@ class Cache:
         tag = block >> self._index_bits
         return self._access_set(set_index, tag)
 
-    def _set_policy(self, set_index: int) -> ReplacementPolicy:
-        """The set's replacement policy, materialised on first use."""
-        policy = self._policies[set_index]
-        if policy is None:
-            policy = make_policy(self.replacement_name, self._associativity)
-            self._policies[set_index] = policy
-        return policy
-
-    def _set_way_tags(self, set_index: int) -> List[Optional[int]]:
-        """The set's way -> tag list, materialised on first use."""
-        way_tags = self._way_tags[set_index]
-        if way_tags is None:
-            way_tags = [None] * self._associativity
-            self._way_tags[set_index] = way_tags
-        return way_tags
-
     def _access_set(self, set_index: int, tag: int) -> AccessResult:
         """Access a specific set with a pre-computed tag (used by subclasses)."""
         self.stats.accesses += 1
-        tag_store = self._tags[set_index]
-        way = tag_store.get(tag)
-        if way is not None:
+        hit, evicted = self._probe_set(set_index, tag)
+        if hit:
             self.stats.hits += 1
-            self._set_policy(set_index).touch(way)
             return AccessResult(hit=True, set_index=set_index, tag=tag)
         self.stats.misses += 1
-        evicted = self._fill(set_index, tag)
+        if evicted is not None:
+            self.stats.evictions += 1
         return AccessResult(hit=False, set_index=set_index, tag=tag, evicted_tag=evicted)
 
-    def _fill(self, set_index: int, tag: int) -> Optional[int]:
-        """Place ``tag`` into ``set_index``, evicting a victim if needed."""
-        self._dense_tags = None
-        tag_store = self._tags[set_index]
-        way_tags = self._set_way_tags(set_index)
-        policy = self._set_policy(set_index)
+    def _probe_set(self, set_index: int, tag: int) -> Tuple[bool, Optional[int]]:
+        """One full-semantics access on the substrate, without statistics.
+
+        Returns ``(hit, evicted_tag)``.  This is the scalar reference the
+        batched classifiers are bit-identical to, and the workhorse of the
+        set-associative classifier's scalar tail.
+        """
+        row = self._tag_plane[set_index].tolist()
+        try:
+            way = row.index(tag)
+        except ValueError:
+            way = -1
+        if way >= 0:
+            self._policy.touch_one(set_index, way)
+            return True, None
+        # Miss: prefer an empty frame, else ask the policy for a victim.
         evicted: Optional[int] = None
-        # Prefer an empty way.
-        way = None
-        for candidate, existing in enumerate(way_tags):
-            if existing is None:
-                way = candidate
-                break
-        if way is None:
-            way = policy.victim()
-            evicted = way_tags[way]
-            if evicted is not None:
-                del tag_store[evicted]
-                self.stats.evictions += 1
-        way_tags[way] = tag
-        tag_store[tag] = way
-        policy.fill(way)
-        return evicted
+        try:
+            victim = row.index(-1)
+        except ValueError:
+            victim = self._policy.victim_one(set_index)
+            evicted = row[victim]
+        self._tag_plane[set_index, victim] = tag
+        self._policy.fill_one(set_index, victim)
+        return False, evicted
 
     def contains(self, address: int) -> bool:
         """True if the block holding ``address`` is currently cached (no side effects)."""
         block = self.block_address(address)
         set_index = block & self._index_mask
         tag = block >> self._index_bits
-        return tag in self._tags[set_index]
+        return bool((self._tag_plane[set_index] == tag).any())
 
     # ------------------------------------------------------------------
     # Batched access (the simulation engine's fast path)
@@ -226,44 +223,31 @@ class Cache:
 
         Statistics (accesses, hits, misses, evictions) and the resulting
         cache contents are bit-identical to calling :meth:`access` on each
-        address in order.  Direct-mapped caches take a vectorised numpy
-        path; set-associative caches fall back to the scalar loop (their
-        replacement state is inherently sequential).
+        address in order.  Every associativity takes a vectorised path:
+        direct-mapped chunks collapse to one shifted comparison,
+        set-associative chunks are processed in per-set wavefronts.
         """
         addresses = np.ascontiguousarray(addresses, dtype=np.uint64)
         if addresses.ndim != 1:
             raise ValueError("addresses must be a one-dimensional array")
-        if self._associativity == 1:
-            return self._access_batch_direct(addresses)
-        return self._access_batch_generic(addresses)
+        return self._access_batch_chunks(addresses)
 
-    def _access_batch_generic(self, addresses: np.ndarray) -> np.ndarray:
-        """Scalar fallback: full access semantics, one address at a time."""
-        hits = np.empty(addresses.shape[0], dtype=bool)
-        access = self.access
-        for position, address in enumerate(addresses.tolist()):
-            hits[position] = access(address).hit
-        return hits
-
-    def _access_batch_direct(self, addresses: np.ndarray) -> np.ndarray:
-        """Vectorised direct-mapped lookup over full-size index/tag bits."""
+    def _access_batch_chunks(self, addresses: np.ndarray) -> np.ndarray:
+        """Decompose and classify a validated batch (no interval boundaries
+        to respect in a plain cache; the DRI cache overrides this)."""
         block = (addresses >> np.uint64(self._offset_bits)).astype(np.int64)
         set_indices = block & self._index_mask
         tags = block >> self._index_bits
         return self._classify_chunk(set_indices, tags)
 
-    def _ensure_dense_tags(self) -> np.ndarray:
-        """(Re)build the dense direct-mapped tag mirror from the dictionaries."""
-        if self._dense_tags is None:
-            dense = np.full(self._num_sets, -1, dtype=np.int64)
-            for set_index, tag_store in enumerate(self._tags):
-                if tag_store:
-                    dense[set_index] = next(iter(tag_store))
-            self._dense_tags = dense
-        return self._dense_tags
-
     def _classify_chunk(self, set_indices: np.ndarray, tags: np.ndarray) -> np.ndarray:
-        """Classify one chunk of (set, tag) probes and apply the fills.
+        """Classify one chunk of (set, tag) probes and apply the fills."""
+        if self._associativity == 1:
+            return self._classify_chunk_direct(set_indices, tags)
+        return self._classify_chunk_assoc(set_indices, tags)
+
+    def _classify_chunk_direct(self, set_indices: np.ndarray, tags: np.ndarray) -> np.ndarray:
+        """Direct-mapped classification: one shifted comparison per chunk.
 
         Within a chunk, an access hits iff the nearest earlier access to
         the same set carried the same tag — or, for the first access to a
@@ -274,7 +258,7 @@ class Cache:
         count = set_indices.shape[0]
         if count == 0:
             return np.empty(0, dtype=bool)
-        dense = self._ensure_dense_tags()
+        dense = self._tag_plane[:, 0]
 
         order = np.argsort(set_indices, kind="stable")
         sorted_sets = set_indices[order]
@@ -299,19 +283,129 @@ class Cache:
         last_of_set = np.empty(count, dtype=bool)
         last_of_set[-1] = True
         last_of_set[:-1] = sorted_sets[:-1] != sorted_sets[1:]
-        final_sets = sorted_sets[last_of_set]
-        final_tags = sorted_tags[last_of_set]
-        dense[final_sets] = final_tags
-        for set_index, tag in zip(final_sets.tolist(), final_tags.tolist()):
-            tag_store = self._tags[set_index]
-            if tag_store:
-                tag_store.clear()
-            tag_store[tag] = 0
-            self._way_tags[set_index] = [tag]
+        dense[sorted_sets[last_of_set]] = sorted_tags[last_of_set]
 
         self.stats.accesses += count
         self.stats.hits += count - misses
         self.stats.misses += misses
+        self.stats.evictions += evictions
+
+        hits = np.empty(count, dtype=bool)
+        hits[order] = sorted_hits
+        return hits
+
+    def _classify_chunk_assoc(self, set_indices: np.ndarray, tags: np.ndarray) -> np.ndarray:
+        """Set-associative classification in per-set wavefronts.
+
+        A stable sort by set groups each set's probes in program order.
+        The k-th probe of a set depends only on that set's earlier probes
+        and state, never on another set's — so wavefront k (the k-th probe
+        of *every* set still active) is one vectorised step: a tag-plane
+        row comparison for hits, an empty-frame/policy-victim selection
+        and fill for misses, and a replacement-state update, all over
+        distinct sets.  When fewer than :data:`MIN_WAVEFRONT_SETS` sets
+        remain active (a chunk dominated by a few hot sets), the remaining
+        probes are finished per set with the scalar reference.
+        """
+        count = set_indices.shape[0]
+        if count == 0:
+            return np.empty(0, dtype=bool)
+        plane = self._tag_plane
+        policy = self._policy
+
+        order = np.argsort(set_indices, kind="stable")
+        sorted_sets = set_indices[order]
+        sorted_tags = tags[order]
+        sorted_hits = np.empty(count, dtype=bool)
+
+        # A probe repeating its set's previous tag always hits the
+        # most-recent way, which no policy reacts to (an LRU touch of the
+        # MRU way is a no-op; FIFO and random ignore hits) — so duplicate
+        # runs are classified up front and drop out of the wavefronts.
+        duplicate = np.empty(count, dtype=bool)
+        duplicate[0] = False
+        duplicate[1:] = (sorted_sets[1:] == sorted_sets[:-1]) & (
+            sorted_tags[1:] == sorted_tags[:-1]
+        )
+        sorted_hits[duplicate] = True
+        kept = np.nonzero(~duplicate)[0]
+        kept_sets = sorted_sets[kept]
+        kept_tags = sorted_tags[kept]
+        kept_count = kept.shape[0]
+        kept_hits = np.empty(kept_count, dtype=bool)
+
+        # Per-set probe runs of the deduplicated chunk, largest first:
+        # ordering the touched sets by descending probe count makes
+        # wavefront k's active sets a contiguous prefix of every per-set
+        # array.
+        boundaries = np.empty(kept_count, dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = kept_sets[1:] != kept_sets[:-1]
+        starts = np.nonzero(boundaries)[0]
+        counts = np.diff(starts, append=kept_count)
+        by_count = np.argsort(-counts, kind="stable")
+        sets_desc = kept_sets[starts[by_count]]
+        starts_desc = starts[by_count]
+        counts_desc = counts[by_count]
+
+        # actives[k] = how many sets still have a k-th probe; run wavefronts
+        # while that stays wide enough to be worth a vectorised step.
+        max_rounds = int(counts_desc[0])
+        actives = np.searchsorted(-counts_desc, -np.arange(max_rounds), side="left")
+        narrow = np.nonzero(actives[1:] < MIN_WAVEFRONT_SETS)[0]
+        rounds = int(narrow[0]) + 1 if narrow.size else max_rounds
+
+        # The touched sets' state, gathered once for the whole chunk.
+        tag_work = plane[sets_desc]
+        policy_work = policy.gather(sets_desc)
+        evictions = 0
+
+        for round_index in range(rounds):
+            active = int(actives[round_index])
+            positions = starts_desc[:active] + round_index
+            wave_tags = kept_tags[positions]
+            rows = tag_work[:active]
+            hit_matrix = rows == wave_tags[:, None]
+            is_hit = hit_matrix.any(axis=1)
+            kept_hits[positions] = is_hit
+            ways = hit_matrix.argmax(axis=1)
+            miss_rows = np.nonzero(~is_hit)[0]
+            if miss_rows.size:
+                empty_matrix = rows[miss_rows] == -1
+                has_empty = empty_matrix.any(axis=1)
+                victims = empty_matrix.argmax(axis=1)
+                full = np.nonzero(~has_empty)[0]
+                if full.size:
+                    # Only full sets consult the policy (and advance any
+                    # PRNG state), exactly as the scalar path does; their
+                    # victims always hold valid blocks, so each one evicts.
+                    victims[full] = policy.victims_block(policy_work, miss_rows[full])
+                    evictions += full.size
+                ways[miss_rows] = victims
+                rows[miss_rows, victims] = wave_tags[miss_rows]
+            policy.update_block(policy_work, active, ways, is_hit)
+
+        plane[sets_desc] = tag_work
+        policy.scatter(sets_desc, policy_work)
+
+        if rounds < max_rounds:
+            # Scalar tail: the few sets probed more often than the completed
+            # wavefronts, each finished in program order on the substrate.
+            for row in range(int(actives[rounds])):
+                set_index = int(sets_desc[row])
+                start = int(starts_desc[row]) + rounds
+                stop = int(starts_desc[row]) + int(counts_desc[row])
+                for probe in range(start, stop):
+                    hit, evicted = self._probe_set(set_index, int(kept_tags[probe]))
+                    kept_hits[probe] = hit
+                    if evicted is not None:
+                        evictions += 1
+
+        sorted_hits[kept] = kept_hits
+        total_hits = int(np.count_nonzero(sorted_hits))
+        self.stats.accesses += count
+        self.stats.hits += total_hits
+        self.stats.misses += count - total_hits
         self.stats.evictions += evictions
 
         hits = np.empty(count, dtype=bool)
@@ -325,26 +419,38 @@ class Cache:
         """Invalidate every block in ``set_index``; returns the number dropped."""
         if not 0 <= set_index < self._num_sets:
             raise IndexError(f"set index {set_index} out of range")
-        dropped = len(self._tags[set_index])
+        row = self._tag_plane[set_index]
+        dropped = int(np.count_nonzero(row != -1))
         if dropped:
-            self._tags[set_index].clear()
-            self._way_tags[set_index] = None
-            self._policies[set_index] = None
+            row[:] = -1
+            self._policy.reset_one(set_index)
             self.stats.invalidations += dropped
-            if self._dense_tags is not None:
-                self._dense_tags[set_index] = -1
+        return dropped
+
+    def invalidate_range(self, start: int, stop: int) -> int:
+        """Invalidate sets ``start..stop``; returns the number of blocks dropped."""
+        if not 0 <= start <= stop <= self._num_sets:
+            raise IndexError(f"set range [{start}, {stop}) out of range")
+        region = self._tag_plane[start:stop]
+        dropped = int(np.count_nonzero(region != -1))
+        if dropped:
+            region[...] = -1
+            self._policy.reset_range(start, stop)
+            self.stats.invalidations += dropped
         return dropped
 
     def flush(self) -> int:
         """Invalidate the whole cache; returns the number of blocks dropped."""
-        dropped = 0
-        for set_index in range(self._num_sets):
-            dropped += self.invalidate_set(set_index)
-        return dropped
+        return self.invalidate_range(0, self._num_sets)
 
     def resident_blocks(self) -> int:
         """Number of valid blocks currently held."""
-        return sum(len(tag_store) for tag_store in self._tags)
+        return int(np.count_nonzero(self._tag_plane != -1))
+
+    def set_tags(self, set_index: int) -> Tuple[int, ...]:
+        """The valid tags resident in ``set_index`` (way order, no side effects)."""
+        row = self._tag_plane[set_index]
+        return tuple(int(tag) for tag in row[row != -1])
 
     def utilization(self) -> float:
         """Fraction of block frames currently holding valid blocks."""

@@ -8,14 +8,16 @@ This module provides that replay loop in two interchangeable forms:
   probe per access), kept as the semantic reference;
 * :func:`replay_batched` — sense-interval-aligned numpy chunks: each chunk
   is classified hit/miss vectorised through
-  :meth:`~repro.memory.cache.Cache.access_batch`, misses are drained
-  through the hierarchy in order, and DRI resize decisions are applied at
-  chunk boundaries only — exactly where the scalar loop applies them.
+  :meth:`~repro.memory.cache.Cache.access_batch`, the chunk's misses are
+  drained through the hierarchy in one vectorised L2 classification
+  (:meth:`~repro.memory.hierarchy.MemoryHierarchy.access_batch_from_l1_misses`),
+  and DRI resize decisions are applied at chunk boundaries only — exactly
+  where the scalar loop applies them.
 
 Both produce bit-identical hit/miss/eviction counts, DRI statistics,
 resize trajectories, and cycle totals; the batched form is an order of
-magnitude faster on the paper's direct-mapped geometries because the hot
-per-access work never enters the Python interpreter.
+magnitude faster because the hot per-access work — at every associativity,
+L1 and L2 alike — never enters the Python interpreter.
 
 Chunking policy
 ---------------
@@ -136,12 +138,9 @@ def replay_batched(
         chunk = addresses[start : start + chunk_accesses]
         hits = icache.access_batch(chunk)
         if not hits.all():
-            for address in chunk[~hits].tolist():
-                response = hierarchy.access_from_l1_miss(address)
-                if response.latency > l2_latency:
-                    miss_memory += 1
-                else:
-                    miss_l2 += 1
+            l2_hits, l2_misses = hierarchy.access_batch_from_l1_misses(chunk[~hits])
+            miss_l2 += l2_hits
+            miss_memory += l2_misses
         if dri_cache is not None and chunk.shape[0] == chunk_accesses:
             dri_cache.end_interval(instructions=chunk_accesses * instructions_per_line)
 

@@ -178,9 +178,13 @@ def figure3_experiment(
         benchmarks = benchmark_names()
     if sweep is None:
         sweep = _make_sweep(scale, system, jobs=jobs)
+    # One flat (benchmark, grid point) task list over one pool.
+    grids = sweep.grid_many(
+        benchmarks, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds
+    )
     result = Figure3Result()
     for name in benchmarks:
-        grid = sweep.grid(name, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds)
+        grid = grids[name]
         constrained = grid.best(constrained=True)
         unconstrained = grid.best(constrained=False)
         if constrained is not None:
@@ -232,6 +236,41 @@ def _base_parameters_for(
     return found
 
 
+def _base_parameters_many(
+    sweep: ParameterSweep,
+    scale: ExperimentScale,
+    benchmarks: Sequence[str],
+    base_parameters: Optional[Dict[str, DRIParameters]],
+) -> Dict[str, DRIParameters]:
+    """Base parameters for many benchmarks, searching the missing ones in bulk.
+
+    The grid search behind every missing benchmark is flattened into one
+    (benchmark, grid point) task list via
+    :meth:`~repro.simulation.sweep.ParameterSweep.grid_many`, so a parallel
+    sweep stays saturated across benchmarks.
+    """
+    missing = [
+        name
+        for name in benchmarks
+        if base_parameters is None or name not in base_parameters
+    ]
+    grids = (
+        sweep.grid_many(missing, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds)
+        if missing
+        else {}
+    )
+    resolved: Dict[str, DRIParameters] = {}
+    for name in benchmarks:
+        if base_parameters is not None and name in base_parameters:
+            resolved[name] = base_parameters[name]
+            continue
+        best = grids[name].best(constrained=True)
+        if best is None:
+            raise RuntimeError(f"no configurations evaluated for {name}")
+        resolved[name] = best.parameters
+    return resolved
+
+
 def _sensitivity(
     benchmarks: Sequence[str],
     scale: ExperimentScale,
@@ -245,9 +284,10 @@ def _sensitivity(
     """Shared driver for Figures 4 and 5."""
     if sweep is None:
         sweep = _make_sweep(scale, system, jobs=jobs)
-    result = SensitivityResult()
+    base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
+    labelled: List[tuple] = []
     for name in benchmarks:
-        base_params = _base_parameters_for(sweep, scale, name, base_parameters)
+        base_params = base_map[name]
         for label, factor in variations.items():
             if vary == "miss_bound":
                 params = base_params.scaled_miss_bound(factor)
@@ -255,8 +295,12 @@ def _sensitivity(
                 params = base_params.scaled_size_bound(factor)
                 if params.size_bound > system.l1_icache.size_bytes:
                     params = replace(params, size_bound=system.l1_icache.size_bytes)
-            point = sweep.evaluate(name, params)
-            result.add(name, label, BenchmarkRow.from_point(point))
+            labelled.append((name, label, params))
+    # All benchmarks' variation points flow through one pool.
+    points = sweep.evaluate_many([(name, params) for name, _, params in labelled])
+    result = SensitivityResult()
+    for (name, label, _), point in zip(labelled, points):
+        result.add(name, label, BenchmarkRow.from_point(point))
     return result
 
 
@@ -332,9 +376,7 @@ def figure6_experiment(
         "128K-DM": DEFAULT_SYSTEM.with_icache(128 * 1024, associativity=1),
     }
     base_sweep = _make_sweep(scale, configurations["64K-DM"], jobs=jobs)
-    resolved_parameters: Dict[str, DRIParameters] = {}
-    for name in benchmarks:
-        resolved_parameters[name] = _base_parameters_for(base_sweep, scale, name, base_parameters)
+    resolved_parameters = _base_parameters_many(base_sweep, scale, benchmarks, base_parameters)
 
     result = SensitivityResult()
     for label, system in configurations.items():
@@ -343,8 +385,11 @@ def figure6_experiment(
             system.l1_icache.size_bytes
         )
         sweep.energy_model = EnergyModel(constants=scaled_constants)
-        for name in benchmarks:
-            point = sweep.evaluate(name, resolved_parameters[name])
+        # Each configuration's benchmarks flow through one pool.
+        points = sweep.evaluate_many(
+            [(name, resolved_parameters[name]) for name in benchmarks]
+        )
+        for name, point in zip(benchmarks, points):
             result.add(name, label, BenchmarkRow.from_point(point))
     return result
 
@@ -458,14 +503,16 @@ def section56_interval_experiment(
         benchmarks = benchmark_names()
     if sweep is None:
         sweep = _make_sweep(scale, DEFAULT_SYSTEM, jobs=jobs)
-    result = SensitivityResult()
+    base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
+    labelled = []
     for name in benchmarks:
-        base_params = _base_parameters_for(sweep, scale, name, base_parameters)
         for factor in interval_factors:
             interval = max(1000, int(round(scale.sense_interval * factor)))
-            params = base_params.with_interval(interval)
-            point = sweep.evaluate(name, params)
-            result.add(name, f"{factor}x", BenchmarkRow.from_point(point))
+            labelled.append((name, f"{factor}x", base_map[name].with_interval(interval)))
+    points = sweep.evaluate_many([(name, params) for name, _, params in labelled])
+    result = SensitivityResult()
+    for (name, label, _), point in zip(labelled, points):
+        result.add(name, label, BenchmarkRow.from_point(point))
     return result
 
 

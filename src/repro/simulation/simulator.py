@@ -14,7 +14,9 @@ benchmark, many cache configurations).
 The replay itself lives in :mod:`repro.simulation.engine`; the simulator
 is a thin wrapper that builds the caches and selects the scalar or the
 batched engine (``engine="auto"`` resolves to batched, which is
-bit-identical and an order of magnitude faster).
+bit-identical and an order of magnitude faster at every associativity —
+the dense tag-plane substrate vectorises direct-mapped and
+set-associative classification alike, see DESIGN.md).
 """
 
 from __future__ import annotations

@@ -17,12 +17,17 @@ selected.  Figures 4 and 5 reuse the same machinery with fixed parameter
 scalings instead of a search.
 
 Grid points are independent simulations, so the sweep can fan them out
-over worker processes (``jobs`` in the constructor, or per call): the
-benchmark's trace is serialised once per worker via the pool initializer
-and every completed point lands in a per-(benchmark, geometry, parameters)
-memo, so repeated evaluations — the Figures 4–6 sensitivity studies all
-revisit the Figure 3 base points — never re-simulate.  A parallel grid
-returns exactly the same points, in the same order, as a serial one.
+over worker processes (``jobs`` in the constructor, or per call): each
+involved benchmark's trace is serialised once per worker via the pool
+initializer and every completed point lands in a per-(benchmark, geometry,
+parameters) memo, so repeated evaluations — the Figures 4–6 sensitivity
+studies all revisit the Figure 3 base points — never re-simulate.  The
+work unit of a pool is a flat *(benchmark, grid point)* pair, so a
+multi-benchmark driver (:meth:`ParameterSweep.grid_many`,
+:meth:`ParameterSweep.evaluate_many`, or :meth:`ParameterSweep.prefetch`
+directly) keeps every worker busy across benchmark boundaries instead of
+draining one benchmark's grid at a time.  A parallel sweep returns
+exactly the same points, in the same order, as a serial one.
 """
 
 from __future__ import annotations
@@ -47,11 +52,14 @@ DEFAULT_SIZE_BOUNDS = (1024, 4096, 16384, 65536)
 """Default size-bound grid (bytes)."""
 
 # ----------------------------------------------------------------------
-# Worker-process plumbing for parallel grids
+# Worker-process plumbing for parallel sweeps
 # ----------------------------------------------------------------------
 _worker_simulator: Optional[Simulator] = None
-_worker_trace: Optional[InstructionTrace] = None
-_worker_base_cpi: float = 0.75
+_worker_workloads: Dict[str, Tuple[InstructionTrace, float]] = {}
+
+_SweepTask = Tuple[str, Optional[DRIParameters]]
+"""One pool work unit: (benchmark name, parameters); ``None`` parameters
+mean the conventional baseline run."""
 
 
 def _resolve_jobs(jobs: int) -> int:
@@ -62,25 +70,30 @@ def _resolve_jobs(jobs: int) -> int:
 
 
 def _sweep_worker_init(
-    system: SystemConfig, trace: InstructionTrace, base_cpi: float, engine: str
+    system: SystemConfig,
+    workloads: Dict[str, Tuple[InstructionTrace, float]],
+    engine: str,
 ) -> None:
-    """Pool initializer: receive the benchmark's trace exactly once.
+    """Pool initializer: receive every involved benchmark's trace exactly once.
 
-    The trace (the big payload) travels to each worker through the
-    initializer, so the per-task messages carry only a
-    :class:`DRIParameters` — one serialisation per benchmark per worker
+    The traces (the big payload) travel to each worker through the
+    initializer, so the per-task messages carry only a benchmark name and
+    a :class:`DRIParameters` — one serialisation per benchmark per worker
     instead of one per grid point.
     """
-    global _worker_simulator, _worker_trace, _worker_base_cpi
+    global _worker_simulator, _worker_workloads
     _worker_simulator = Simulator(system=system, engine=engine)
-    _worker_trace = trace
-    _worker_base_cpi = base_cpi
+    _worker_workloads = workloads
 
 
-def _sweep_worker_run(parameters: DRIParameters) -> SimulationResult:
-    """Pool task: simulate one DRI configuration of the initialised trace."""
-    assert _worker_simulator is not None and _worker_trace is not None
-    return _worker_simulator.run_dri_trace(_worker_trace, _worker_base_cpi, parameters)
+def _sweep_worker_run(task: _SweepTask) -> SimulationResult:
+    """Pool task: simulate one (benchmark, configuration) pair."""
+    assert _worker_simulator is not None
+    name, parameters = task
+    trace, base_cpi = _worker_workloads[name]
+    if parameters is None:
+        return _worker_simulator.run_conventional(trace)
+    return _worker_simulator.run_dri_trace(trace, base_cpi, parameters)
 
 
 @dataclass(frozen=True)
@@ -297,22 +310,63 @@ class ParameterSweep:
                 )
         return parameters
 
-    def _simulate_grid_parallel(
+    def prefetch(
         self,
-        trace: InstructionTrace,
-        base_cpi: float,
-        missing: Sequence[DRIParameters],
-        jobs: int,
-    ) -> None:
-        """Fan the not-yet-memoized grid points out over worker processes."""
-        workers = min(jobs, len(missing))
+        pairs: Sequence[Tuple[WorkloadLike, Optional[DRIParameters]]],
+        jobs: Optional[int] = None,
+    ) -> int:
+        """Simulate not-yet-memoized (workload, parameters) pairs in one pool.
+
+        ``None`` parameters mean the workload's conventional baseline.
+        The pairs are flattened into one task list — *across* benchmarks —
+        so a figure driver's whole workload keeps every worker busy until
+        the queue drains, instead of pooling within one benchmark's grid
+        at a time.  Results land in the same memos the serial path uses,
+        so the subsequent :meth:`evaluate`/:meth:`grid` calls are pure
+        lookups; returns the number of simulations actually run.
+        """
+        jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
+        resolved: Dict[str, Tuple[InstructionTrace, float]] = {}
+        tasks: List[_SweepTask] = []
+        seen: set = set()
+        for workload, parameters in pairs:
+            trace, base_cpi = self.simulator.resolve_workload(workload)
+            resolved[trace.name] = (trace, base_cpi)
+            if parameters is None:
+                if trace.name in self._conventional_cache:
+                    continue
+                task: _SweepTask = (trace.name, None)
+            else:
+                if self._dri_key(trace, parameters) in self._dri_cache:
+                    continue
+                task = (trace.name, parameters)
+            if task not in seen:
+                seen.add(task)
+                tasks.append(task)
+        if not tasks:
+            return 0
+        if jobs <= 1 or len(tasks) == 1:
+            for name, parameters in tasks:
+                trace, base_cpi = resolved[name]
+                if parameters is None:
+                    self._conventional_cache[name] = self.simulator.run_conventional(trace)
+                else:
+                    self._dri_cache[self._dri_key(trace, parameters)] = (
+                        self.simulator.run_dri_trace(trace, base_cpi, parameters)
+                    )
+            return len(tasks)
+        workloads = {name: resolved[name] for name in {name for name, _ in tasks}}
         with ProcessPoolExecutor(
-            max_workers=workers,
+            max_workers=min(jobs, len(tasks)),
             initializer=_sweep_worker_init,
-            initargs=(self.simulator.system, trace, base_cpi, self.simulator.engine),
+            initargs=(self.simulator.system, workloads, self.simulator.engine),
         ) as pool:
-            for parameters, result in zip(missing, pool.map(_sweep_worker_run, missing)):
-                self._dri_cache[self._dri_key(trace, parameters)] = result
+            for (name, parameters), result in zip(tasks, pool.map(_sweep_worker_run, tasks)):
+                if parameters is None:
+                    self._conventional_cache[name] = result
+                else:
+                    self._dri_cache[self._dri_key(resolved[name][0], parameters)] = result
+        return len(tasks)
 
     def grid(
         self,
@@ -328,22 +382,65 @@ class ParameterSweep:
         not already memoized are simulated in parallel.  The returned
         points are identical to a serial sweep's, in the same order.
         """
-        jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
-        conventional = self.conventional_baseline(workload)
-        trace, base_cpi = self.simulator.resolve_workload(workload)
         parameters_list = self._grid_parameters(miss_bounds, size_bounds)
+        jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
         if jobs > 1:
-            missing = [
-                parameters
-                for parameters in parameters_list
-                if self._dri_key(trace, parameters) not in self._dri_cache
-            ]
-            if len(missing) > 1:
-                self._simulate_grid_parallel(trace, base_cpi, missing, jobs)
+            pairs: List[Tuple[WorkloadLike, Optional[DRIParameters]]] = [(workload, None)]
+            pairs.extend((workload, parameters) for parameters in parameters_list)
+            self.prefetch(pairs, jobs=jobs)
+        conventional = self.conventional_baseline(workload)
         result = SweepResult(benchmark=conventional.benchmark, conventional=conventional)
         for parameters in parameters_list:
             result.points.append(self.evaluate(workload, parameters))
         return result
+
+    def grid_many(
+        self,
+        workloads: Sequence[WorkloadLike],
+        miss_bounds: Sequence[int] = DEFAULT_MISS_BOUNDS,
+        size_bounds: Sequence[int] = DEFAULT_SIZE_BOUNDS,
+        jobs: Optional[int] = None,
+    ) -> Dict[str, SweepResult]:
+        """Evaluate the same grid for many benchmarks over one process pool.
+
+        The (benchmark, grid point) pairs — baselines included — are
+        flattened into a single task list, so the pool stays saturated
+        across benchmark boundaries.  Returns one :class:`SweepResult`
+        per workload, keyed by benchmark name, each identical to what a
+        serial :meth:`grid` call would produce.
+        """
+        parameters_list = self._grid_parameters(miss_bounds, size_bounds)
+        pairs: List[Tuple[WorkloadLike, Optional[DRIParameters]]] = []
+        for workload in workloads:
+            pairs.append((workload, None))
+            pairs.extend((workload, parameters) for parameters in parameters_list)
+        self.prefetch(pairs, jobs=jobs)
+        results: Dict[str, SweepResult] = {}
+        for workload in workloads:
+            trace, _ = self.simulator.resolve_workload(workload)
+            results[trace.name] = self.grid(
+                workload, miss_bounds=miss_bounds, size_bounds=size_bounds, jobs=1
+            )
+        return results
+
+    def evaluate_many(
+        self,
+        pairs: Sequence[Tuple[WorkloadLike, DRIParameters]],
+        jobs: Optional[int] = None,
+    ) -> List[SweepPoint]:
+        """Evaluate many (workload, parameters) pairs over one process pool.
+
+        The flattened pairs (plus any missing conventional baselines) are
+        simulated in parallel, then compared serially from the memo;
+        returns the points in input order, identical to serial
+        :meth:`evaluate` calls.
+        """
+        prefetch_pairs: List[Tuple[WorkloadLike, Optional[DRIParameters]]] = []
+        for workload, parameters in pairs:
+            prefetch_pairs.append((workload, None))
+            prefetch_pairs.append((workload, parameters))
+        self.prefetch(prefetch_pairs, jobs=jobs)
+        return [self.evaluate(workload, parameters) for workload, parameters in pairs]
 
     def best_configuration(
         self,

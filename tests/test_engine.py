@@ -84,7 +84,7 @@ class TestConventionalEquivalence:
         b = batched.run_fixed_size("swim", size)
         assert (a.l1_misses, a.l2_accesses, a.cycles) == (b.l1_misses, b.l2_accesses, b.cycles)
 
-    def test_set_associative_falls_back_to_scalar_semantics(self):
+    def test_set_associative_runs_identical(self):
         system = SystemConfig().with_icache(16 * 1024, associativity=4)
         scalar = Simulator(system=system, trace_instructions=40_000, engine="scalar")
         batched = Simulator(system=system, trace_instructions=40_000, engine="batched")
@@ -202,8 +202,8 @@ class TestAccessBatch:
         hits = batched.access_batch(addresses)
         assert _cache_stats_tuple(batched.stats) == _cache_stats_tuple(reference.stats)
         assert int(hits.sum()) == reference.stats.hits
-        # Final contents agree set by set.
-        assert batched._tags == reference._tags
+        # Final contents agree frame by frame.
+        assert np.array_equal(batched._tag_plane, reference._tag_plane)
 
     def test_chunking_is_invariant(self):
         rng = np.random.default_rng(13)
@@ -231,7 +231,7 @@ class TestAccessBatch:
             mixed.access(address)
         mixed.access_batch(addresses[2 * third :])
         assert _cache_stats_tuple(mixed.stats) == _cache_stats_tuple(reference.stats)
-        assert mixed._tags == reference._tags
+        assert np.array_equal(mixed._tag_plane, reference._tag_plane)
 
     def test_batch_on_auto_interval_dri_cache_matches_scalar(self):
         """Auto-interval DRI caches split batches at interval boundaries."""
@@ -264,6 +264,127 @@ class TestAccessBatch:
         cache = Cache(CacheGeometry(size_bytes=1024, block_size=32, associativity=1))
         with pytest.raises(ValueError):
             cache.access_batch(np.zeros((2, 2), dtype=np.uint64))
+
+
+class TestSetAssociativeEquivalence:
+    """The wavefront classifier is bit-identical to the scalar reference
+    at every associativity and replacement policy: same statistics, same
+    eviction counts, same per-access hit outcomes, same final contents."""
+
+    def _mixed_trace(self, rng, loop_lines=64, loop_repeats=40, scatter=2_000, span=2**20):
+        """Scattered accesses around a hot loop: exercises empty-way fills,
+        policy victims, in-chunk reuse, and the wavefront/tail boundary."""
+        loop = np.tile(
+            (rng.integers(0, span // 16, size=loop_lines, dtype=np.uint64) // 32) * 32,
+            loop_repeats,
+        )
+        noise = (rng.integers(0, span, size=scatter, dtype=np.uint64) // 32) * 32
+        return np.concatenate([noise, loop, noise])
+
+    @pytest.mark.parametrize("associativity", [2, 4, 8])
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_randomized_traces_match_scalar(self, associativity, policy):
+        rng = np.random.default_rng(100 + associativity)
+        addresses = self._mixed_trace(rng)
+        geometry = CacheGeometry(
+            size_bytes=8 * 1024, block_size=32, associativity=associativity
+        )
+        reference = Cache(geometry, replacement=policy)
+        reference_hits = np.array(
+            [reference.access(address).hit for address in addresses.tolist()]
+        )
+        batched = Cache(geometry, replacement=policy)
+        hits = np.concatenate(
+            [batched.access_batch(chunk) for chunk in np.array_split(addresses, 5)]
+        )
+        assert np.array_equal(hits, reference_hits)
+        assert _cache_stats_tuple(batched.stats) == _cache_stats_tuple(reference.stats)
+        assert np.array_equal(batched._tag_plane, reference._tag_plane)
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_single_hot_set_takes_the_scalar_tail(self, policy):
+        """A chunk dominated by one set exceeds the wavefront width cutoff
+        and must finish on the scalar tail with identical results."""
+        rng = np.random.default_rng(23)
+        geometry = CacheGeometry(size_bytes=2 * 1024, block_size=32, associativity=4)
+        # 16 sets: every address maps to set 3, tags drawn from a small pool.
+        tags = rng.integers(0, 9, size=4_000, dtype=np.uint64)
+        addresses = (tags << np.uint64(9)) | np.uint64(3 << 5)
+        reference = Cache(geometry, replacement=policy)
+        reference_hits = np.array(
+            [reference.access(address).hit for address in addresses.tolist()]
+        )
+        batched = Cache(geometry, replacement=policy)
+        hits = batched.access_batch(addresses)
+        assert np.array_equal(hits, reference_hits)
+        assert _cache_stats_tuple(batched.stats) == _cache_stats_tuple(reference.stats)
+        assert np.array_equal(batched._tag_plane, reference._tag_plane)
+
+    @pytest.mark.parametrize("associativity", [2, 4])
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "random"])
+    def test_replay_engines_match_on_policies(self, associativity, policy):
+        """Full-replay equivalence (L1 + batched L2 drain) beyond LRU."""
+        from repro.memory.hierarchy import MemoryHierarchy
+        from repro.simulation.engine import replay
+
+        trace = generate_trace(
+            get_benchmark("compress"), total_instructions=40_000, seed=SEED
+        )
+        system = SystemConfig().with_icache(16 * 1024, associativity=associativity)
+        outcomes = {}
+        for engine in ("scalar", "batched"):
+            icache = Cache(system.l1_icache, name="L1I", replacement=policy)
+            hierarchy = MemoryHierarchy(system)
+            cycles = replay(
+                trace, icache, hierarchy, 0.75, system, dri=None, engine=engine
+            )
+            outcomes[engine] = (
+                cycles,
+                _cache_stats_tuple(icache.stats),
+                hierarchy.l2_accesses,
+                hierarchy.l2_misses,
+                hierarchy.memory.accesses,
+            )
+        assert outcomes["scalar"] == outcomes["batched"]
+
+    def test_dri_four_way_matches_scalar(self):
+        """The Figure 6 64K 4-way DRI configuration takes the vectorised
+        masked-index path and stays bit-identical to the scalar engine."""
+        system = SystemConfig().with_icache(64 * 1024, associativity=4)
+        parameters = DRIParameters(miss_bound=30, size_bound=2048, sense_interval=5_000)
+        scalar = Simulator(system=system, trace_instructions=INSTRUCTIONS, seed=SEED, engine="scalar")
+        batched = Simulator(system=system, trace_instructions=INSTRUCTIONS, seed=SEED, engine="batched")
+        a = scalar.run_dri("li", parameters)
+        b = batched.run_dri("li", parameters)
+        assert (a.l1_accesses, a.l1_misses) == (b.l1_accesses, b.l1_misses)
+        assert (a.l2_accesses, a.l2_misses) == (b.l2_accesses, b.l2_misses)
+        assert a.cycles == b.cycles
+        assert a.dri_stats.size_trajectory() == b.dri_stats.size_trajectory()
+        assert _interval_tuples(a.dri_stats) == _interval_tuples(b.dri_stats)
+
+    def test_custom_random_seed_survives_invalidation(self):
+        """Regression: a re-enabled set's victim stream must match a fresh
+        cache built with the same (custom) seed — the legacy per-set
+        policies reset to the default seed instead."""
+        geometry = CacheGeometry(size_bytes=1024, block_size=32, associativity=4)
+
+        def eviction_pattern(cache):
+            # Overfill set 0 (8 sets: block address stride 8) and record
+            # which tags get evicted.
+            pattern = []
+            for tag in range(12):
+                result = cache.access(tag << 8)
+                pattern.append(result.evicted_tag)
+            return pattern
+
+        seeded = Cache(geometry, replacement="random", replacement_seed=777)
+        fresh = Cache(geometry, replacement="random", replacement_seed=777)
+        assert seeded._policy.seed == 777  # the seed is threaded through
+        first = eviction_pattern(seeded)
+        assert first == eviction_pattern(fresh)
+        seeded.invalidate_set(0)
+        rerun = Cache(geometry, replacement="random", replacement_seed=777)
+        assert eviction_pattern(seeded) == eviction_pattern(rerun)
 
 
 class TestSenseIntervalUnits:
@@ -391,3 +512,45 @@ class TestParallelSweep:
         sweep = self._sweep(jobs=2)
         result = sweep.grid("compress", miss_bounds=(10, 80), size_bounds=(1024,))
         assert len(result.points) == 2
+
+    def test_grid_many_matches_individual_grids(self):
+        """The flattened cross-benchmark pool returns exactly what
+        per-benchmark serial grids return."""
+        names = ["compress", "li"]
+        serial_sweep = self._sweep()
+        individual = {
+            name: serial_sweep.grid(name, miss_bounds=(10, 80), size_bounds=(1024, 8192))
+            for name in names
+        }
+        many = self._sweep().grid_many(
+            names, miss_bounds=(10, 80), size_bounds=(1024, 8192), jobs=2
+        )
+        assert list(many) == names
+        for name in names:
+            for a, b in zip(individual[name].points, many[name].points):
+                assert a.parameters == b.parameters
+                assert a.simulation.l1_misses == b.simulation.l1_misses
+                assert a.simulation.cycles == b.simulation.cycles
+                assert a.energy_delay == pytest.approx(b.energy_delay, abs=0.0)
+
+    def test_evaluate_many_matches_serial_evaluates(self):
+        parameters = [
+            DRIParameters(miss_bound=10, size_bound=1024, sense_interval=5_000),
+            DRIParameters(miss_bound=80, size_bound=8192, sense_interval=5_000),
+        ]
+        pairs = [(name, p) for name in ("compress", "swim") for p in parameters]
+        serial_sweep = self._sweep()
+        serial = [serial_sweep.evaluate(name, p) for name, p in pairs]
+        parallel = self._sweep().evaluate_many(pairs, jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.parameters == b.parameters
+            assert a.simulation.l1_misses == b.simulation.l1_misses
+            assert a.energy_delay == pytest.approx(b.energy_delay, abs=0.0)
+
+    def test_prefetch_counts_and_memoizes(self):
+        sweep = self._sweep()
+        parameters = DRIParameters(miss_bound=10, size_bound=1024, sense_interval=5_000)
+        pairs = [("compress", None), ("compress", parameters)]
+        assert sweep.prefetch(pairs, jobs=1) == 2
+        # Everything is memoized now; a second prefetch runs nothing.
+        assert sweep.prefetch(pairs, jobs=1) == 0

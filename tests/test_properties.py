@@ -12,7 +12,7 @@ from repro.dri.dri_cache import DRIICache
 from repro.dri.mask import SizeMask
 from repro.energy.model import EnergyModel, RunStatistics
 from repro.memory.cache import Cache
-from repro.memory.replacement import LRUPolicy
+from repro.memory.replacement import LRUState
 
 # ----------------------------------------------------------------------
 # Strategies
@@ -70,14 +70,14 @@ class TestLRUProperties:
     @settings(max_examples=50, deadline=None)
     def test_victim_is_always_least_recent(self, associativity_log, touches):
         associativity = 1 << associativity_log
-        policy = LRUPolicy(associativity)
+        state = LRUState(num_sets=1, associativity=associativity)
         recency = list(range(associativity))  # reference: most recent first
         for touch in touches:
             way = touch % associativity
-            policy.touch(way)
+            state.touch_one(0, way)
             recency.remove(way)
             recency.insert(0, way)
-            assert policy.victim() == recency[-1]
+            assert state.victim_one(0) == recency[-1]
 
 
 # ----------------------------------------------------------------------
@@ -149,7 +149,7 @@ class TestDRICacheProperties:
             )
             # Blocks never live in gated-off sets.
             for set_index in range(cache.current_sets, cache.num_sets):
-                assert not cache._tags[set_index]
+                assert cache.set_tags(set_index) == ()
 
 
 # ----------------------------------------------------------------------

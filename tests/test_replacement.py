@@ -1,102 +1,197 @@
-"""Tests for cache replacement policies."""
+"""Tests for the dense cache-wide replacement strategies."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.memory.replacement import (
-    FIFOPolicy,
-    LRUPolicy,
-    RandomPolicy,
-    make_policy,
+    FIFOState,
+    LRUState,
+    RandomState,
+    make_replacement,
 )
 
 
 class TestLRU:
     def test_initial_victim_is_last_way(self):
-        policy = LRUPolicy(4)
-        assert policy.victim() == 3
+        state = LRUState(num_sets=4, associativity=4)
+        assert state.victim_one(2) == 3
 
     def test_touch_moves_way_to_most_recent(self):
-        policy = LRUPolicy(4)
-        policy.touch(3)
-        assert policy.victim() == 2
+        state = LRUState(num_sets=2, associativity=4)
+        state.touch_one(0, 3)
+        assert state.victim_one(0) == 2
+        # Other sets are unaffected.
+        assert state.victim_one(1) == 3
 
     def test_victim_is_least_recently_used(self):
-        policy = LRUPolicy(4)
+        state = LRUState(num_sets=1, associativity=4)
         for way in (0, 1, 2, 3):
-            policy.fill(way)
-        policy.touch(0)
-        policy.touch(1)
+            state.fill_one(0, way)
+        state.touch_one(0, 0)
+        state.touch_one(0, 1)
         # Way 2 is now the least recently used.
-        assert policy.victim() == 2
+        assert state.victim_one(0) == 2
 
     def test_single_way_always_victim_zero(self):
-        policy = LRUPolicy(1)
-        policy.touch(0)
-        assert policy.victim() == 0
+        state = LRUState(num_sets=1, associativity=1)
+        state.touch_one(0, 0)
+        assert state.victim_one(0) == 0
 
     def test_reset_restores_initial_order(self):
-        policy = LRUPolicy(4)
-        policy.touch(3)
-        policy.reset()
-        assert policy.victim() == 3
+        state = LRUState(num_sets=3, associativity=4)
+        state.touch_one(1, 3)
+        state.reset_one(1)
+        assert state.victim_one(1) == 3
+
+    def test_work_array_round_trip_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        batched = LRUState(num_sets=8, associativity=4)
+        scalar = LRUState(num_sets=8, associativity=4)
+        for _ in range(50):
+            sets = rng.permutation(8)[: int(rng.integers(1, 9))]
+            ways = rng.integers(0, 4, size=sets.shape[0])
+            hit_mask = rng.random(sets.shape[0]) < 0.5
+            work = batched.gather(sets)
+            batched.update_block(work, sets.shape[0], ways, hit_mask)
+            batched.scatter(sets, work)
+            for set_index, way, hit in zip(sets.tolist(), ways.tolist(), hit_mask.tolist()):
+                if hit:
+                    scalar.touch_one(set_index, way)
+                else:
+                    scalar.fill_one(set_index, way)
+            assert np.array_equal(batched.ranks, scalar.ranks)
+            work = batched.gather(np.arange(8))
+            assert np.array_equal(
+                batched.victims_block(work, np.arange(8)),
+                np.array([scalar.victim_one(s) for s in range(8)]),
+            )
+
+    def test_ranks_stay_a_permutation(self):
+        state = LRUState(num_sets=4, associativity=8)
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            state.touch_one(int(rng.integers(0, 4)), int(rng.integers(0, 8)))
+        for row in state.ranks:
+            assert sorted(row.tolist()) == list(range(8))
 
 
 class TestFIFO:
     def test_fills_rotate_victim(self):
-        policy = FIFOPolicy(4)
-        assert policy.victim() == 0
-        policy.fill(0)
-        assert policy.victim() == 1
-        policy.fill(1)
-        assert policy.victim() == 2
+        state = FIFOState(num_sets=2, associativity=4)
+        assert state.victim_one(0) == 0
+        state.fill_one(0, 0)
+        assert state.victim_one(0) == 1
+        state.fill_one(0, 1)
+        assert state.victim_one(0) == 2
+        assert state.victim_one(1) == 0  # untouched set unaffected
 
     def test_touch_does_not_change_order(self):
-        policy = FIFOPolicy(4)
-        policy.fill(0)
-        policy.touch(0)
-        assert policy.victim() == 1
+        state = FIFOState(num_sets=1, associativity=4)
+        state.fill_one(0, 0)
+        state.touch_one(0, 0)
+        assert state.victim_one(0) == 1
 
     def test_wraps_around(self):
-        policy = FIFOPolicy(2)
-        policy.fill(0)
-        policy.fill(1)
-        assert policy.victim() == 0
+        state = FIFOState(num_sets=1, associativity=2)
+        state.fill_one(0, 0)
+        state.fill_one(0, 1)
+        assert state.victim_one(0) == 0
+
+    def test_work_array_round_trip_matches_scalar(self):
+        batched = FIFOState(num_sets=4, associativity=4)
+        scalar = FIFOState(num_sets=4, associativity=4)
+        sets = np.array([0, 2, 3])
+        ways = np.array([3, 1, 2])
+        hit_mask = np.array([False, True, False])  # hits must not rotate
+        work = batched.gather(sets)
+        batched.update_block(work, sets.shape[0], ways, hit_mask)
+        batched.scatter(sets, work)
+        for set_index, way, hit in zip(sets.tolist(), ways.tolist(), hit_mask.tolist()):
+            if hit:
+                scalar.touch_one(set_index, way)
+            else:
+                scalar.fill_one(set_index, way)
+        assert np.array_equal(batched.next_way, scalar.next_way)
 
 
 class TestRandom:
     def test_victims_within_range(self):
-        policy = RandomPolicy(4, seed=99)
+        state = RandomState(num_sets=1, associativity=4, seed=99)
         for _ in range(100):
-            assert 0 <= policy.victim() < 4
+            assert 0 <= state.victim_one(0) < 4
 
     def test_deterministic_for_same_seed(self):
-        first = RandomPolicy(8, seed=5)
-        second = RandomPolicy(8, seed=5)
-        assert [first.victim() for _ in range(20)] == [second.victim() for _ in range(20)]
+        first = RandomState(num_sets=1, associativity=8, seed=5)
+        second = RandomState(num_sets=1, associativity=8, seed=5)
+        assert [first.victim_one(0) for _ in range(20)] == [
+            second.victim_one(0) for _ in range(20)
+        ]
 
     def test_different_seeds_differ(self):
-        first = [RandomPolicy(8, seed=1).victim() for _ in range(10)]
-        second = [RandomPolicy(8, seed=2).victim() for _ in range(10)]
+        first = [RandomState(1, 8, seed=1).victim_one(0) for _ in range(10)]
+        second = [RandomState(1, 8, seed=2).victim_one(0) for _ in range(10)]
         # Not all positions should match for different seeds.
         assert first != second
+
+    def test_sets_have_independent_streams(self):
+        """Advancing one set's LCG must not perturb another's."""
+        state = RandomState(num_sets=2, associativity=8, seed=7)
+        reference = RandomState(num_sets=2, associativity=8, seed=7)
+        for _ in range(10):
+            state.victim_one(0)
+        assert [state.victim_one(1) for _ in range(10)] == [
+            reference.victim_one(1) for _ in range(10)
+        ]
+
+    def test_work_array_round_trip_matches_scalar(self):
+        batched = RandomState(num_sets=8, associativity=4, seed=11)
+        scalar = RandomState(num_sets=8, associativity=4, seed=11)
+        rng = np.random.default_rng(13)
+        for _ in range(20):
+            sets = rng.permutation(8)[: int(rng.integers(1, 9))]
+            work = batched.gather(sets)
+            victims = batched.victims_block(work, np.arange(sets.shape[0]))
+            batched.scatter(sets, work)
+            expected = [scalar.victim_one(s) for s in sets.tolist()]
+            assert victims.tolist() == expected
+        assert np.array_equal(batched.states, scalar.states)
+
+    def test_reset_preserves_configured_seed(self):
+        """Regression: the legacy per-set policies reset via
+        ``self.__init__(associativity)`` and silently dropped a custom
+        seed, so a re-enabled set's victim stream differed from a fresh
+        cache built with the same seed."""
+        custom = RandomState(num_sets=1, associativity=4, seed=777)
+        fresh = RandomState(num_sets=1, associativity=4, seed=777)
+        fresh_stream = [fresh.victim_one(0) for _ in range(10)]
+        for _ in range(5):
+            custom.victim_one(0)
+        custom.reset_one(0)
+        assert [custom.victim_one(0) for _ in range(10)] == fresh_stream
 
 
 class TestFactory:
     def test_make_lru(self):
-        assert isinstance(make_policy("lru", 2), LRUPolicy)
+        assert isinstance(make_replacement("lru", 4, 2), LRUState)
 
     def test_make_fifo_case_insensitive(self):
-        assert isinstance(make_policy("FIFO", 2), FIFOPolicy)
+        assert isinstance(make_replacement("FIFO", 4, 2), FIFOState)
 
-    def test_make_random(self):
-        assert isinstance(make_policy("random", 2), RandomPolicy)
+    def test_make_random_threads_seed(self):
+        state = make_replacement("random", 4, 2, seed=42)
+        assert isinstance(state, RandomState)
+        assert state.seed == 42
 
     def test_unknown_policy_raises(self):
         with pytest.raises(ValueError):
-            make_policy("plru", 2)
+            make_replacement("plru", 4, 2)
 
     def test_rejects_zero_associativity(self):
         with pytest.raises(ValueError):
-            LRUPolicy(0)
+            LRUState(4, 0)
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ValueError):
+            LRUState(0, 2)
