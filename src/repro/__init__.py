@@ -40,7 +40,16 @@ from repro.dri import DRIICache, ResizeController, SizeMask
 from repro.energy import EnergyConstants, EnergyModel, RunStatistics
 from repro.memory import Cache, MemoryHierarchy
 from repro.simulation import ParameterSweep, Simulator
-from repro.workloads import InstructionTrace, WorkloadSpec, generate_trace, get_benchmark
+from repro.workloads import (
+    InstructionTrace,
+    TraceSource,
+    TraceStore,
+    WorkloadSpec,
+    generate_trace,
+    get_benchmark,
+    import_external_trace,
+    stream_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -62,8 +71,12 @@ __all__ = [
     "ParameterSweep",
     "Simulator",
     "InstructionTrace",
+    "TraceSource",
+    "TraceStore",
     "WorkloadSpec",
     "generate_trace",
     "get_benchmark",
+    "import_external_trace",
+    "stream_trace",
     "__version__",
 ]

@@ -136,6 +136,9 @@ class Cache:
         # The dense substrate: one int64 tag per block frame (-1 = invalid)
         # plus the cache-wide replacement state arrays parallel to it.
         self._tag_plane = np.full((self._num_sets, self._associativity), -1, dtype=np.int64)
+        # Direct-mapped scalar probes use a flat view of the single column:
+        # `item()`/scalar stores on it keep the whole probe in plain ints.
+        self._dm_plane = self._tag_plane[:, 0] if self._associativity == 1 else None
         self._policy = make_replacement(
             replacement, self._num_sets, self._associativity, seed=replacement_seed
         )
@@ -188,7 +191,21 @@ class Cache:
         Returns ``(hit, evicted_tag)``.  This is the scalar reference the
         batched classifiers are bit-identical to, and the workhorse of the
         set-associative classifier's scalar tail.
+
+        Direct-mapped caches take a specialised path: one ``item()`` read
+        of the flat tag column, a pure-int compare, and a scalar store —
+        no numpy row gather, no list construction, no policy call (with a
+        single way the victim is always way 0 and no policy state can
+        influence it, which is also why the batched direct-mapped
+        classifier never consults the policy).
         """
+        if self._dm_plane is not None:
+            plane = self._dm_plane
+            stored = plane.item(set_index)
+            if stored == tag:
+                return True, None
+            plane[set_index] = tag
+            return False, (stored if stored >= 0 else None)
         row = self._tag_plane[set_index].tolist()
         try:
             way = row.index(tag)

@@ -1,7 +1,7 @@
 """The batched trace-replay engine.
 
 Conventional, fixed-size, and DRI runs all replay an instruction-fetch
-trace through an L1 i-cache in front of the Table 1 L2/memory hierarchy.
+stream through an L1 i-cache in front of the Table 1 L2/memory hierarchy.
 This module provides that replay loop in two interchangeable forms:
 
 * :func:`replay_scalar` — the original per-address Python loop (one dict
@@ -14,10 +14,15 @@ This module provides that replay loop in two interchangeable forms:
   and DRI resize decisions are applied at chunk boundaries only — exactly
   where the scalar loop applies them.
 
-Both produce bit-identical hit/miss/eviction counts, DRI statistics,
-resize trajectories, and cycle totals; the batched form is an order of
-magnitude faster because the hot per-access work — at every associativity,
-L1 and L2 alike — never enters the Python interpreter.
+Both engines consume any
+:class:`~repro.workloads.source.TraceSource` — an in-memory
+:class:`~repro.workloads.trace.InstructionTrace` is coerced to one — and
+never ask for more than one chunk at a time, so a streamed or mmapped
+source replays a 100M-access trace at flat memory.  Both produce
+bit-identical hit/miss/eviction counts, DRI statistics, resize
+trajectories, and cycle totals; the batched form is an order of magnitude
+faster because the hot per-access work — at every associativity, L1 and
+L2 alike — never enters the Python interpreter.
 
 Chunking policy
 ---------------
@@ -30,7 +35,7 @@ the classification scratch arrays.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.config.parameters import DRIParameters
 from repro.config.system import SystemConfig
@@ -38,7 +43,11 @@ from repro.cpu.pipeline import TimingModel
 from repro.dri.dri_cache import DRIICache
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.workloads.source import TraceSource, as_trace_source
 from repro.workloads.trace import InstructionTrace
+
+TraceLike = Union[InstructionTrace, TraceSource]
+"""What the replay functions accept as the reference stream."""
 
 DEFAULT_CHUNK_ACCESSES = 1 << 16
 """Chunk length (in accesses) for runs without sense-interval boundaries."""
@@ -55,18 +64,24 @@ def resolve_engine(kind: str) -> str:
 
 
 def replay_scalar(
-    trace: InstructionTrace,
+    trace: TraceLike,
     icache: Cache,
     hierarchy: MemoryHierarchy,
     base_cpi: float,
     system: SystemConfig,
     dri: Optional[DRIParameters] = None,
 ) -> int:
-    """Replay ``trace`` one address at a time; returns the cycle count."""
+    """Replay ``trace`` one address at a time; returns the cycle count.
+
+    The stream is pulled chunk by chunk from its source (flat memory even
+    for streamed sources); within a chunk the loop is the per-address
+    reference semantics.
+    """
+    source = as_trace_source(trace)
     timing = TimingModel(pipeline=system.pipeline, base_cpi=base_cpi)
     l2_latency = system.l1_miss_penalty
     memory_latency = l2_latency + system.l2_miss_penalty
-    instructions_per_line = trace.instructions_per_line
+    instructions_per_line = source.instructions_per_line
 
     # Interval driving is enabled only when the caller asks for it (dri
     # parameters passed and the cache is a DRI cache); the interval length
@@ -79,30 +94,33 @@ def replay_scalar(
     miss_l2 = 0
     miss_memory = 0
     since_interval = 0
+    accesses = 0
 
-    for address in trace.addresses():
-        if not access(address).hit:
-            response = hierarchy.access_from_l1_miss(address)
-            if response.latency > l2_latency:
-                miss_memory += 1
-            else:
-                miss_l2 += 1
-        if dri_cache is not None:
-            since_interval += 1
-            if since_interval >= per_interval:
-                dri_cache.end_interval(
-                    instructions=since_interval * instructions_per_line
-                )
-                since_interval = 0
+    for chunk in source.chunks(DEFAULT_CHUNK_ACCESSES):
+        accesses += chunk.shape[0]
+        for address in chunk.tolist():
+            if not access(address).hit:
+                response = hierarchy.access_from_l1_miss(address)
+                if response.latency > l2_latency:
+                    miss_memory += 1
+                else:
+                    miss_l2 += 1
+            if dri_cache is not None:
+                since_interval += 1
+                if since_interval >= per_interval:
+                    dri_cache.end_interval(
+                        instructions=since_interval * instructions_per_line
+                    )
+                    since_interval = 0
 
-    timing.account_instructions(trace.num_instructions)
+    timing.account_instructions(accesses * instructions_per_line)
     timing.account_fetch_misses(l2_latency, miss_l2)
     timing.account_fetch_misses(memory_latency, miss_memory)
     return timing.cycles
 
 
 def replay_batched(
-    trace: InstructionTrace,
+    trace: TraceLike,
     icache: Cache,
     hierarchy: MemoryHierarchy,
     base_cpi: float,
@@ -116,12 +134,16 @@ def replay_batched(
     then draining its misses through the L2 in order preserves both the L1
     and L2 reference streams; DRI decisions fire after every *complete*
     interval, and a trailing partial interval is left open for
-    ``finalize`` exactly as the scalar loop leaves it.
+    ``finalize`` exactly as the scalar loop leaves it.  The source is
+    asked for chunks of exactly the interval length, so the chunk
+    boundaries *are* the decision points even when the stream is being
+    generated or read from disk on the fly.
     """
+    source = as_trace_source(trace)
     timing = TimingModel(pipeline=system.pipeline, base_cpi=base_cpi)
     l2_latency = system.l1_miss_penalty
     memory_latency = l2_latency + system.l2_miss_penalty
-    instructions_per_line = trace.instructions_per_line
+    instructions_per_line = source.instructions_per_line
 
     dri_cache = icache if dri is not None and isinstance(icache, DRIICache) else None
     if dri_cache is not None:
@@ -129,13 +151,12 @@ def replay_batched(
     else:
         chunk_accesses = DEFAULT_CHUNK_ACCESSES
 
-    addresses = trace.line_addresses
-    total = addresses.shape[0]
     miss_l2 = 0
     miss_memory = 0
+    accesses = 0
 
-    for start in range(0, total, chunk_accesses):
-        chunk = addresses[start : start + chunk_accesses]
+    for chunk in source.chunks(chunk_accesses):
+        accesses += chunk.shape[0]
         hits = icache.access_batch(chunk)
         if not hits.all():
             l2_hits, l2_misses = hierarchy.access_batch_from_l1_misses(chunk[~hits])
@@ -144,14 +165,14 @@ def replay_batched(
         if dri_cache is not None and chunk.shape[0] == chunk_accesses:
             dri_cache.end_interval(instructions=chunk_accesses * instructions_per_line)
 
-    timing.account_instructions(trace.num_instructions)
+    timing.account_instructions(accesses * instructions_per_line)
     timing.account_fetch_misses(l2_latency, miss_l2)
     timing.account_fetch_misses(memory_latency, miss_memory)
     return timing.cycles
 
 
 def replay(
-    trace: InstructionTrace,
+    trace: TraceLike,
     icache: Cache,
     hierarchy: MemoryHierarchy,
     base_cpi: float,

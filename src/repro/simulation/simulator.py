@@ -17,6 +17,13 @@ batched engine (``engine="auto"`` resolves to batched, which is
 bit-identical and an order of magnitude faster at every associativity —
 the dense tag-plane substrate vectorises direct-mapped and
 set-associative classification alike, see DESIGN.md).
+
+Workloads resolve to a :class:`~repro.workloads.source.TraceSource`:
+benchmark names and specs become (cached) in-memory traces, while any
+pre-built source — a streamed :func:`~repro.workloads.generator.stream_trace`,
+an mmapped :class:`~repro.workloads.source.TraceStore`, an external
+:class:`~repro.workloads.source.DinTraceSource` — replays as-is, chunk by
+chunk, at flat memory.
 """
 
 from __future__ import annotations
@@ -29,15 +36,17 @@ from repro.config.system import DEFAULT_SYSTEM, SystemConfig
 from repro.dri.dri_cache import DRIICache
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.simulation.engine import TraceLike
 from repro.simulation.engine import replay as engine_replay
 from repro.simulation.engine import resolve_engine
 from repro.simulation.results import SimulationResult
 from repro.workloads.generator import generate_trace
 from repro.workloads.phases import WorkloadSpec
+from repro.workloads.source import TraceSource
 from repro.workloads.spec95 import get_benchmark
 from repro.workloads.trace import InstructionTrace
 
-WorkloadLike = Union[str, WorkloadSpec, InstructionTrace]
+WorkloadLike = Union[str, WorkloadSpec, InstructionTrace, TraceSource]
 
 
 class Simulator:
@@ -77,18 +86,25 @@ class Simulator:
     # ------------------------------------------------------------------
     # Workload handling
     # ------------------------------------------------------------------
-    def resolve_workload(self, workload: WorkloadLike) -> Tuple[InstructionTrace, float]:
+    def resolve_workload(self, workload: WorkloadLike) -> Tuple[TraceLike, float]:
         """Return the (trace, base CPI) pair for a workload argument.
 
-        ``workload`` may be a benchmark name, a :class:`WorkloadSpec`, or a
-        pre-generated :class:`InstructionTrace` (base CPI then defaults to
-        the registry value if the trace's name matches a benchmark, else a
-        generic 0.75).
+        ``workload`` may be a benchmark name, a :class:`WorkloadSpec`, a
+        pre-generated :class:`InstructionTrace`, or any
+        :class:`TraceSource` (streamed, mmapped store, external reader).
+        For traces and sources the base CPI defaults to the registry value
+        if the benchmark identity (``base_name``, which :meth:`split`
+        pieces keep) matches a benchmark, else a generic 0.75.
         """
-        if isinstance(workload, InstructionTrace):
+        if isinstance(workload, (InstructionTrace, TraceSource)):
+            benchmark = (
+                workload.benchmark_name
+                if isinstance(workload, InstructionTrace)
+                else workload.base_name
+            )
             base_cpi = 0.75
             try:
-                base_cpi = get_benchmark(workload.name).base_cpi
+                base_cpi = get_benchmark(benchmark).base_cpi
             except KeyError:
                 pass
             return workload, base_cpi
@@ -164,13 +180,14 @@ class Simulator:
         return self.run_dri_trace(trace, base_cpi, parameters)
 
     def run_dri_trace(
-        self, trace: InstructionTrace, base_cpi: float, parameters: DRIParameters
+        self, trace: TraceLike, base_cpi: float, parameters: DRIParameters
     ) -> SimulationResult:
         """Simulate the DRI i-cache on an already-resolved (trace, CPI) pair.
 
         This is the work unit the parallel sweep ships to worker processes:
-        the trace is resolved (and serialised) once per benchmark, and each
-        worker replays it under different adaptivity parameters.
+        the trace is resolved once per benchmark — as an mmap-backed store
+        path, not a pickled array — and each worker replays it under
+        different adaptivity parameters.
         """
         icache = DRIICache(
             self.system.l1_icache,
@@ -200,7 +217,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def _run_trace(
         self,
-        trace: InstructionTrace,
+        trace: TraceLike,
         icache: Cache,
         hierarchy: MemoryHierarchy,
         base_cpi: float,

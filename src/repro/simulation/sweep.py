@@ -18,24 +18,29 @@ scalings instead of a search.
 
 Grid points are independent simulations, so the sweep can fan them out
 over worker processes (``jobs`` in the constructor, or per call): each
-involved benchmark's trace is serialised once per worker via the pool
-initializer and every completed point lands in a per-(benchmark, geometry,
-parameters) memo, so repeated evaluations — the Figures 4–6 sensitivity
-studies all revisit the Figure 3 base points — never re-simulate.  The
-work unit of a pool is a flat *(benchmark, grid point)* pair, so a
-multi-benchmark driver (:meth:`ParameterSweep.grid_many`,
-:meth:`ParameterSweep.evaluate_many`, or :meth:`ParameterSweep.prefetch`
-directly) keeps every worker busy across benchmark boundaries instead of
-draining one benchmark's grid at a time.  A parallel sweep returns
-exactly the same points, in the same order, as a serial one.
+involved benchmark's trace is spilled once into an mmap-backed
+:class:`~repro.workloads.source.TraceStore` and the pool initializer
+ships only the store *paths* — every worker memory-maps the same file,
+so the trace data exists once in the page cache no matter how many
+workers replay it, and the per-task messages stay tiny.  Every completed
+point lands in a per-(benchmark, geometry, parameters) memo, so repeated
+evaluations — the Figures 4–6 sensitivity studies all revisit the
+Figure 3 base points — never re-simulate.  The work unit of a pool is a
+flat *(benchmark, grid point)* pair, so a multi-benchmark driver
+(:meth:`ParameterSweep.grid_many`, :meth:`ParameterSweep.evaluate_many`,
+or :meth:`ParameterSweep.prefetch` directly) keeps every worker busy
+across benchmark boundaries instead of draining one benchmark's grid at
+a time.  A parallel sweep returns exactly the same points, in the same
+order, as a serial one.
 """
 
 from __future__ import annotations
 
 import os
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.config.parameters import DRIParameters
 from repro.config.system import CacheGeometry, SystemConfig
@@ -43,7 +48,10 @@ from repro.energy.comparison import PERFORMANCE_CONSTRAINT, ComparisonResult, co
 from repro.energy.model import EnergyModel
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import Simulator, WorkloadLike
+from repro.workloads.source import TraceSource, TraceStore
 from repro.workloads.trace import InstructionTrace
+
+TraceLike = Union[InstructionTrace, TraceSource]
 
 DEFAULT_MISS_BOUNDS = (10, 30, 80, 200)
 """Default miss-bound grid (misses per sense interval)."""
@@ -55,7 +63,7 @@ DEFAULT_SIZE_BOUNDS = (1024, 4096, 16384, 65536)
 # Worker-process plumbing for parallel sweeps
 # ----------------------------------------------------------------------
 _worker_simulator: Optional[Simulator] = None
-_worker_workloads: Dict[str, Tuple[InstructionTrace, float]] = {}
+_worker_workloads: Dict[str, Tuple[TraceSource, float]] = {}
 
 _SweepTask = Tuple[str, Optional[DRIParameters]]
 """One pool work unit: (benchmark name, parameters); ``None`` parameters
@@ -71,19 +79,23 @@ def _resolve_jobs(jobs: int) -> int:
 
 def _sweep_worker_init(
     system: SystemConfig,
-    workloads: Dict[str, Tuple[InstructionTrace, float]],
+    stores: Dict[str, Tuple[str, float]],
     engine: str,
 ) -> None:
-    """Pool initializer: receive every involved benchmark's trace exactly once.
+    """Pool initializer: open every involved benchmark's trace store.
 
-    The traces (the big payload) travel to each worker through the
-    initializer, so the per-task messages carry only a benchmark name and
-    a :class:`DRIParameters` — one serialisation per benchmark per worker
-    instead of one per grid point.
+    Each worker receives ``{benchmark: (store path, base CPI)}`` — a few
+    bytes per benchmark — and memory-maps the store on open, so all
+    workers replay one shared physical copy of each trace through the
+    page cache instead of each unpickling a private array.  The per-task
+    messages carry only a benchmark name and a :class:`DRIParameters`.
     """
     global _worker_simulator, _worker_workloads
     _worker_simulator = Simulator(system=system, engine=engine)
-    _worker_workloads = workloads
+    _worker_workloads = {
+        name: (TraceStore.open(path), base_cpi)
+        for name, (path, base_cpi) in stores.items()
+    }
 
 
 def _sweep_worker_run(task: _SweepTask) -> SimulationResult:
@@ -184,15 +196,39 @@ class ParameterSweep:
         self._dri_cache: Dict[
             Tuple[str, CacheGeometry, DRIParameters], SimulationResult
         ] = {}
+        self._store_dir: Optional[tempfile.TemporaryDirectory] = None
+        self._stores: Dict[str, TraceStore] = {}
+
+    def _store_for(self, trace: TraceLike) -> TraceStore:
+        """The mmap-backed store a parallel pool ships for this trace.
+
+        A workload that already *is* a store is shipped by its own path;
+        anything else (in-memory trace, streamed source) is spilled once
+        into the sweep's temporary store directory — streamed chunk by
+        chunk, so even a lazily generated trace spills at flat memory —
+        and reused for every later pool.
+        """
+        if isinstance(trace, TraceStore):
+            return trace
+        store = self._stores.get(trace.name)
+        if store is None:
+            if self._store_dir is None:
+                self._store_dir = tempfile.TemporaryDirectory(prefix="repro-sweep-")
+            path = os.path.join(
+                self._store_dir.name, f"{len(self._stores):03d}-{trace.name}"
+            )
+            store = TraceStore.save(trace, path)
+            self._stores[trace.name] = store
+        return store
 
     def _dri_key(
-        self, trace: InstructionTrace, parameters: DRIParameters
+        self, trace: TraceLike, parameters: DRIParameters
     ) -> Tuple[str, CacheGeometry, DRIParameters]:
         """Memo key: one entry per (benchmark, i-cache geometry, parameters)."""
         return (trace.name, self.simulator.system.l1_icache, parameters)
 
     def _dri_result(
-        self, trace: InstructionTrace, base_cpi: float, parameters: DRIParameters
+        self, trace: TraceLike, base_cpi: float, parameters: DRIParameters
     ) -> SimulationResult:
         """Run (or reuse) the DRI simulation for one configuration."""
         key = self._dri_key(trace, parameters)
@@ -321,12 +357,14 @@ class ParameterSweep:
         The pairs are flattened into one task list — *across* benchmarks —
         so a figure driver's whole workload keeps every worker busy until
         the queue drains, instead of pooling within one benchmark's grid
-        at a time.  Results land in the same memos the serial path uses,
-        so the subsequent :meth:`evaluate`/:meth:`grid` calls are pure
-        lookups; returns the number of simulations actually run.
+        at a time.  With more than one worker, each involved trace is
+        spilled once into an mmap-backed store and the workers receive
+        only its path.  Results land in the same memos the serial path
+        uses, so the subsequent :meth:`evaluate`/:meth:`grid` calls are
+        pure lookups; returns the number of simulations actually run.
         """
         jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
-        resolved: Dict[str, Tuple[InstructionTrace, float]] = {}
+        resolved: Dict[str, Tuple[TraceLike, float]] = {}
         tasks: List[_SweepTask] = []
         seen: set = set()
         for workload, parameters in pairs:
@@ -355,11 +393,14 @@ class ParameterSweep:
                         self.simulator.run_dri_trace(trace, base_cpi, parameters)
                     )
             return len(tasks)
-        workloads = {name: resolved[name] for name in {name for name, _ in tasks}}
+        stores = {
+            name: (str(self._store_for(resolved[name][0]).path), resolved[name][1])
+            for name in {name for name, _ in tasks}
+        }
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(tasks)),
             initializer=_sweep_worker_init,
-            initargs=(self.simulator.system, workloads, self.simulator.engine),
+            initargs=(self.simulator.system, stores, self.simulator.engine),
         ) as pool:
             for (name, parameters), result in zip(tasks, pool.map(_sweep_worker_run, tasks)):
                 if parameters is None:

@@ -1,7 +1,16 @@
-"""Synthetic SPEC95-like workloads: phase models, trace generation, and the registry."""
+"""Synthetic SPEC95-like workloads: phase models, trace generation and
+streaming, trace stores, external-format readers, and the registry."""
 
-from repro.workloads.generator import generate_trace
+from repro.workloads.generator import GeneratedTraceSource, generate_trace, stream_trace
 from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
+from repro.workloads.source import (
+    ArrayTraceSource,
+    DinTraceSource,
+    TraceSource,
+    TraceStore,
+    as_trace_source,
+    import_external_trace,
+)
 from repro.workloads.spec95 import (
     all_benchmarks,
     benchmark_names,
@@ -15,11 +24,19 @@ from repro.workloads.trace import (
 )
 
 __all__ = [
+    "GeneratedTraceSource",
     "generate_trace",
+    "stream_trace",
     "BenchmarkClass",
     "LoopSpec",
     "PhaseSpec",
     "WorkloadSpec",
+    "ArrayTraceSource",
+    "DinTraceSource",
+    "TraceSource",
+    "TraceStore",
+    "as_trace_source",
+    "import_external_trace",
     "all_benchmarks",
     "benchmark_names",
     "benchmarks_in_class",

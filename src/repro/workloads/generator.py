@@ -15,17 +15,25 @@ then walks it the way the spec describes:
   codes show even when their loops fit in the cache.
 
 Generation is deterministic for a given ``seed`` so every configuration of
-a sweep sees exactly the same reference stream.
+a sweep sees exactly the same reference stream, and it is fully
+vectorised: a batch of loop picks is expanded into its fetch stream with
+one ``np.repeat``/cumsum ramp construction instead of a per-pick Python
+loop.  The stream is produced in bounded *segments*, so the same code
+either materialises a trace (:func:`generate_trace`) or streams it lazily
+(:func:`stream_trace`) — a 100M-access trace replayed through a streaming
+:class:`GeneratedTraceSource` never exists in memory, and both paths
+yield bit-identical addresses by construction.
 """
 
 from __future__ import annotations
 
 import zlib
-from typing import List
+from typing import Iterator, List
 
 import numpy as np
 
 from repro.workloads.phases import PhaseSpec, WorkloadSpec
+from repro.workloads.source import TraceSource, rechunk
 from repro.workloads.trace import DEFAULT_INSTRUCTIONS_PER_LINE, DEFAULT_LINE_SIZE, InstructionTrace
 
 PHASE_REGION_SPACING = 1 << 24
@@ -41,6 +49,17 @@ ALIAS_STRIDE_BYTES = 64 * 1024
 """Aliased loops are placed this far from the phase base: equal to the
 reference (64K) cache size, so their lines share index bits with the
 phase's first loop in a direct-mapped cache of that size."""
+
+SEGMENT_TARGET_LINES = 1 << 15
+"""Target length of one internally generated segment (32K lines ≈ 256 KB
+of uint64 addresses): the peak working memory of *streamed* generation,
+independent of the trace length.  Segment boundaries depend only on the
+workload spec and budget — never on the consumer's chunk size — so
+streamed and materialised generation consume the RNG identically and
+yield bit-identical address streams."""
+
+MAX_PICK_BATCH = 4096
+"""Upper bound on loop picks drawn per RNG call."""
 
 
 def _phase_line_budget(spec: WorkloadSpec, total_lines: int) -> List[int]:
@@ -90,46 +109,137 @@ def _loop_layout(
     return layout
 
 
-def _generate_phase(
+def _phase_segments(
     phase: PhaseSpec,
     phase_index: int,
     num_lines: int,
     line_size: int,
     rng: np.random.Generator,
-) -> np.ndarray:
-    """Generate the line-address stream for one phase."""
+) -> Iterator[np.ndarray]:
+    """Yield the phase's line-*address* stream in bounded uint64 segments.
+
+    A batch of loop picks is expanded into its fetch stream vectorised:
+    every pick contributes ``size * repeats`` lines whose values are
+    ``start + (position_within_pick mod size)``, so one ``np.repeat`` of
+    the pick indices plus a cumsum of the pick lengths produces the whole
+    batch's ramp structure without a Python loop.  Scatter redirection is
+    applied per emitted segment.
+    """
     if num_lines <= 0:
-        return np.empty(0, dtype=np.uint64)
+        return
     phase_base_line = (CODE_BASE_ADDRESS + phase_index * PHASE_REGION_SPACING) // line_size
     layout = _loop_layout(phase, phase_base_line, line_size, rng)
     weights = np.asarray(phase.normalized_weights, dtype=np.float64)
+    starts = np.array([start for start, _, _ in layout], dtype=np.int64)
+    sizes = np.array([size for _, size, _ in layout], dtype=np.int64)
+    repeats = np.array([repeat for _, _, repeat in layout], dtype=np.int64)
+    pick_lines = sizes * repeats
 
-    chunks: List[np.ndarray] = []
+    # Size the pick batches so one expanded segment lands near the target
+    # length (spec-dependent only, so streaming stays chunk-invariant).
+    expected = float(np.dot(weights, pick_lines))
+    batch_size = int(min(MAX_PICK_BATCH, max(1, round(SEGMENT_TARGET_LINES / expected))))
+
+    scatter_lines = max(1, phase.scatter_footprint_bytes // line_size)
+    scatter_base_line = (SCATTER_BASE_ADDRESS + phase_index * PHASE_REGION_SPACING) // line_size
+    line_bytes = np.uint64(line_size)
+
     emitted = 0
-    # Draw loop choices in batches to amortise RNG overhead.
     while emitted < num_lines:
-        batch = rng.choice(len(layout), size=64, p=weights)
-        for loop_index in batch:
-            start_line, size_lines, repeats = layout[loop_index]
-            body = np.arange(start_line, start_line + size_lines, dtype=np.uint64)
-            visit = np.tile(body, repeats)
-            chunks.append(visit)
-            emitted += visit.shape[0]
-            if emitted >= num_lines:
-                break
-    lines = np.concatenate(chunks)[:num_lines]
+        choices = rng.choice(len(layout), size=batch_size, p=weights)
+        lengths = pick_lines[choices]
+        total = int(lengths.sum())
+        pick_of = np.repeat(np.arange(choices.shape[0]), lengths)
+        offsets = np.cumsum(lengths) - lengths
+        within = np.arange(total, dtype=np.int64) - offsets[pick_of]
+        chosen = choices[pick_of]
+        segment = starts[chosen] + within % sizes[chosen]
+        if emitted + total > num_lines:
+            segment = segment[: num_lines - emitted]
+        emitted += segment.shape[0]
 
-    if phase.scatter_rate > 0.0:
-        scatter_lines = max(1, phase.scatter_footprint_bytes // line_size)
-        scatter_base_line = (SCATTER_BASE_ADDRESS + phase_index * PHASE_REGION_SPACING) // line_size
-        mask = rng.random(num_lines) < phase.scatter_rate
-        count = int(mask.sum())
-        if count:
-            lines = lines.copy()
-            lines[mask] = scatter_base_line + rng.integers(
-                0, scatter_lines, size=count, dtype=np.uint64
-            )
-    return lines
+        if phase.scatter_rate > 0.0:
+            mask = rng.random(segment.shape[0]) < phase.scatter_rate
+            count = int(mask.sum())
+            if count:
+                segment[mask] = scatter_base_line + rng.integers(
+                    0, scatter_lines, size=count, dtype=np.int64
+                )
+        yield segment.astype(np.uint64) * line_bytes
+
+
+class GeneratedTraceSource(TraceSource):
+    """A workload spec streamed as sense-interval-alignable chunks.
+
+    Every :meth:`chunks` call reseeds the generator and replays the exact
+    same address stream (all cache configurations of a sweep must see one
+    reference stream), holding at most one generation segment plus one
+    output chunk in memory at a time.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        total_instructions: int = 800_000,
+        seed: int = 2001,
+        line_size: int = DEFAULT_LINE_SIZE,
+        instructions_per_line: int = DEFAULT_INSTRUCTIONS_PER_LINE,
+    ) -> None:
+        if total_instructions < instructions_per_line:
+            raise ValueError("total_instructions must cover at least one line fetch")
+        self.spec = spec
+        self.name = spec.name
+        self.seed = seed
+        self.instructions_per_line = instructions_per_line
+        self.line_size = line_size
+        self._total_lines = total_instructions // instructions_per_line
+        self._budgets = _phase_line_budget(spec, self._total_lines)
+
+    @property
+    def num_accesses(self) -> int:
+        return self._total_lines
+
+    def _segments(self) -> Iterator[np.ndarray]:
+        name_seed = zlib.crc32(self.spec.name.encode("utf-8"))
+        rng = np.random.default_rng((self.seed, name_seed))
+        for index, (phase, budget) in enumerate(zip(self.spec.phases, self._budgets)):
+            yield from _phase_segments(phase, index, budget, self.line_size, rng)
+
+    def chunks(self, chunk_accesses: int = 1 << 16) -> Iterator[np.ndarray]:
+        return rechunk(self._segments(), chunk_accesses)
+
+    def materialize(self) -> InstructionTrace:
+        segments = list(self._segments())
+        addresses = (
+            np.concatenate(segments) if segments else np.empty(0, dtype=np.uint64)
+        )
+        return InstructionTrace(
+            name=self.name,
+            line_addresses=addresses,
+            instructions_per_line=self.instructions_per_line,
+            line_size=self.line_size,
+        )
+
+
+def stream_trace(
+    spec: WorkloadSpec,
+    total_instructions: int = 800_000,
+    seed: int = 2001,
+    line_size: int = DEFAULT_LINE_SIZE,
+    instructions_per_line: int = DEFAULT_INSTRUCTIONS_PER_LINE,
+) -> GeneratedTraceSource:
+    """A lazily generated :class:`~repro.workloads.source.TraceSource`.
+
+    Yields the same stream :func:`generate_trace` materialises, chunk by
+    chunk, so arbitrarily long traces replay at flat memory.
+    """
+    return GeneratedTraceSource(
+        spec,
+        total_instructions=total_instructions,
+        seed=seed,
+        line_size=line_size,
+        instructions_per_line=instructions_per_line,
+    )
 
 
 def generate_trace(
@@ -152,21 +262,10 @@ def generate_trace(
         RNG seed; combined with the workload name so different benchmarks
         get decorrelated streams while the same benchmark is reproducible.
     """
-    if total_instructions < instructions_per_line:
-        raise ValueError("total_instructions must cover at least one line fetch")
-    total_lines = total_instructions // instructions_per_line
-    name_seed = zlib.crc32(spec.name.encode("utf-8"))
-    rng = np.random.default_rng((seed, name_seed))
-    budgets = _phase_line_budget(spec, total_lines)
-    pieces = [
-        _generate_phase(phase, index, budget, line_size, rng)
-        for index, (phase, budget) in enumerate(zip(spec.phases, budgets))
-    ]
-    line_indices = np.concatenate([piece for piece in pieces if piece.size])
-    addresses = line_indices * np.uint64(line_size)
-    return InstructionTrace(
-        name=spec.name,
-        line_addresses=addresses,
-        instructions_per_line=instructions_per_line,
+    return stream_trace(
+        spec,
+        total_instructions=total_instructions,
+        seed=seed,
         line_size=line_size,
-    )
+        instructions_per_line=instructions_per_line,
+    ).materialize()

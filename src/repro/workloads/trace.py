@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -27,6 +27,19 @@ run that stays within one line therefore represents 8 dynamic
 instructions on average."""
 
 
+def _npz_path(path: str | Path) -> Path:
+    """The on-disk ``.npz`` path for a requested trace path.
+
+    ``numpy.savez_compressed`` appends ``.npz`` when the name does not end
+    with it, so save and load must agree on the same normalisation or a
+    ``save("foo"); load("foo")`` round trip fails.
+    """
+    path = Path(path)
+    if path.name.endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
+
+
 @dataclass(frozen=True)
 class InstructionTrace:
     """A sequence of i-cache line fetches for one benchmark run.
@@ -34,19 +47,25 @@ class InstructionTrace:
     Attributes
     ----------
     name:
-        Benchmark name the trace was generated from.
+        Name of this trace (for a piece of a split trace this carries the
+        piece suffix, e.g. ``"gcc[2]"``).
     line_addresses:
         Byte addresses of the fetched lines (uint64, line-aligned).
     instructions_per_line:
         Dynamic instructions represented by each line fetch.
     line_size:
         Cache-line size in bytes the addresses are aligned to.
+    base_name:
+        Benchmark the trace derives from, when it differs from ``name``
+        (set by :meth:`split` so pieces keep their benchmark identity for
+        base-CPI lookups); ``None`` means ``name`` is the benchmark.
     """
 
     name: str
     line_addresses: np.ndarray
     instructions_per_line: int = DEFAULT_INSTRUCTIONS_PER_LINE
     line_size: int = DEFAULT_LINE_SIZE
+    base_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.instructions_per_line < 1:
@@ -57,6 +76,11 @@ class InstructionTrace:
         if addresses.ndim != 1:
             raise ValueError("line_addresses must be a one-dimensional array")
         object.__setattr__(self, "line_addresses", addresses)
+
+    @property
+    def benchmark_name(self) -> str:
+        """The benchmark this trace stands for (``base_name`` fallback ``name``)."""
+        return self.base_name if self.base_name is not None else self.name
 
     # ------------------------------------------------------------------
     # Sizes
@@ -106,10 +130,16 @@ class InstructionTrace:
             line_addresses=self.line_addresses[:lines],
             instructions_per_line=self.instructions_per_line,
             line_size=self.line_size,
+            base_name=self.base_name,
         )
 
     def split(self, pieces: int) -> Tuple["InstructionTrace", ...]:
-        """Split the trace into ``pieces`` roughly equal consecutive pieces."""
+        """Split the trace into ``pieces`` roughly equal consecutive pieces.
+
+        Each piece is named ``name[i]`` but keeps this trace's benchmark
+        identity in ``base_name``, so benchmark-keyed lookups (base CPI in
+        particular) still resolve for the pieces.
+        """
         if pieces < 1:
             raise ValueError("pieces must be at least 1")
         chunks = np.array_split(self.line_addresses, pieces)
@@ -119,30 +149,47 @@ class InstructionTrace:
                 line_addresses=chunk,
                 instructions_per_line=self.instructions_per_line,
                 line_size=self.line_size,
+                base_name=self.benchmark_name,
             )
             for index, chunk in enumerate(chunks)
         )
 
     # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def as_source(self):
+        """This trace as a :class:`~repro.workloads.source.TraceSource`."""
+        from repro.workloads.source import ArrayTraceSource
+
+        return ArrayTraceSource(self)
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Save the trace to an ``.npz`` file."""
+        """Save the trace to an ``.npz`` file (``.npz`` appended if missing)."""
         np.savez_compressed(
-            Path(path),
+            _npz_path(path),
             name=np.array(self.name),
             line_addresses=self.line_addresses,
             instructions_per_line=np.array(self.instructions_per_line),
             line_size=np.array(self.line_size),
+            base_name=np.array(self.base_name if self.base_name is not None else ""),
         )
 
     @classmethod
     def load(cls, path: str | Path) -> "InstructionTrace":
-        """Load a trace previously written by :meth:`save`."""
-        with np.load(Path(path)) as data:
+        """Load a trace previously written by :meth:`save`.
+
+        Accepts the same path that was passed to :meth:`save`, with or
+        without the ``.npz`` suffix numpy appends.
+        """
+        with np.load(_npz_path(path)) as data:
+            base_name = str(data["base_name"]) if "base_name" in data else ""
             return cls(
                 name=str(data["name"]),
                 line_addresses=data["line_addresses"],
                 instructions_per_line=int(data["instructions_per_line"]),
                 line_size=int(data["line_size"]),
+                base_name=base_name or None,
             )

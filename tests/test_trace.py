@@ -75,6 +75,19 @@ class TestSlicing:
         pieces = trace.split(4)
         assert sum(len(piece) for piece in pieces) == 103
 
+    def test_split_keeps_benchmark_identity(self):
+        """Regression: pieces are renamed ``name[i]`` but must keep the
+        benchmark they derive from, or base-CPI lookups silently fall back."""
+        pieces = make_trace(100).split(3)
+        assert [piece.name for piece in pieces] == ["toy[0]", "toy[1]", "toy[2]"]
+        assert all(piece.benchmark_name == "toy" for piece in pieces)
+        # Splitting a piece again still points at the original benchmark.
+        assert pieces[0].split(2)[1].benchmark_name == "toy"
+
+    def test_prefix_keeps_benchmark_identity(self):
+        piece = make_trace(100).split(2)[0]
+        assert piece.prefix(40).benchmark_name == "toy"
+
     def test_split_rejects_zero_pieces(self):
         with pytest.raises(ValueError):
             make_trace().split(0)
@@ -90,3 +103,27 @@ class TestPersistence:
         assert loaded.instructions_per_line == trace.instructions_per_line
         assert loaded.line_size == trace.line_size
         assert np.array_equal(loaded.line_addresses, trace.line_addresses)
+
+    def test_suffixless_roundtrip(self, tmp_path):
+        """Regression: ``save("foo")`` writes ``foo.npz`` (numpy appends the
+        suffix), so ``load("foo")`` must look there too."""
+        trace = make_trace(20)
+        trace.save(tmp_path / "foo")
+        assert (tmp_path / "foo.npz").exists()
+        for path in (tmp_path / "foo", tmp_path / "foo.npz"):
+            loaded = InstructionTrace.load(path)
+            assert np.array_equal(loaded.line_addresses, trace.line_addresses)
+
+    def test_dotted_names_are_not_mangled(self, tmp_path):
+        trace = make_trace(10)
+        trace.save(tmp_path / "run.v1")
+        assert (tmp_path / "run.v1.npz").exists()
+        loaded = InstructionTrace.load(tmp_path / "run.v1")
+        assert np.array_equal(loaded.line_addresses, trace.line_addresses)
+
+    def test_base_name_survives_the_roundtrip(self, tmp_path):
+        piece = make_trace(30).split(2)[1]
+        piece.save(tmp_path / "piece")
+        loaded = InstructionTrace.load(tmp_path / "piece")
+        assert loaded.name == "toy[1]"
+        assert loaded.benchmark_name == "toy"
