@@ -21,8 +21,19 @@ performance trajectory is tracked across PRs.  The JSON schema:
       },
       "streamed": {"accesses": 10000000, "batched_accesses_per_s": ...,
                    "peak_python_mib": ..., "materialised_trace_mib": ...},
-      "sweep": {"grid_points": 16, "wall_clock_s": {"jobs=1": ..., "jobs=2": ...}}
+      "sweep": {"grid_points": 16, "wall_clock_s": {"jobs=1": ..., "jobs=2": ...}},
+      "policies": {
+        "replay_overhead": {"miss-bound": {"batched_accesses_per_s": ...,
+                                           "relative_to_miss_bound": 1.0}, ...},
+        "shootout": {"benchmarks": [...],
+                     "summary": {"miss-bound": {"mean_energy_delay": ...}, ...}}
+      }
     }
+
+The ``policies`` section tracks the resize-policy layer: per-policy
+batched DRI replay throughput (the strategy indirection must stay in the
+interval-boundary noise, not the access path) and the policy shootout's
+per-policy suite means.
 
 The scalar direct-mapped rows measure the specialised pure-int probe
 (one flat ``item()`` read per access, no numpy row gather); the
@@ -171,6 +182,55 @@ def measure_streamed(accesses: int) -> Dict[str, float]:
     }
 
 
+SHOOTOUT_BENCHMARKS = ("compress", "li", "hydro2d", "mgrid")
+"""Shootout benchmarks in the bench payload (one per behaviour class plus
+two class-1 codes); ``--quick`` cuts to the first two."""
+
+
+def measure_policy_replay(instructions: int, repeats: int = REPEATS) -> Dict[str, Dict[str, float]]:
+    """Batched DRI replay throughput per resize policy.
+
+    The policy only runs at interval boundaries, so any visible per-policy
+    spread is interval-boundary overhead — the access path is identical.
+    Throughputs are reported relative to the paper's miss-bound policy.
+    """
+    from repro.simulation.experiments import DEFAULT_SHOOTOUT_POLICIES
+
+    out: Dict[str, Dict[str, float]] = {}
+    for name in DEFAULT_SHOOTOUT_POLICIES:
+        parameters = DRIParameters(
+            miss_bound=40,
+            size_bound=1024,
+            sense_interval=SENSE_INTERVAL,
+        ).with_policy(name)
+        simulator = Simulator(trace_instructions=instructions, engine="batched")
+        seconds, result = _time_replay(
+            simulator, lambda: simulator.run_dri(BENCHMARK, parameters), repeats
+        )
+        out[name] = {
+            "batched_accesses_per_s": result.l1_accesses / seconds,
+            "wall_clock_s": seconds,
+        }
+    base = out["miss-bound"]["batched_accesses_per_s"]
+    for row in out.values():
+        row["relative_to_miss_bound"] = row["batched_accesses_per_s"] / base
+    return out
+
+
+def measure_shootout(instructions: int, benchmarks: Sequence[str]) -> Dict[str, object]:
+    """The policy shootout's per-policy suite means on a reduced suite."""
+    from repro.simulation.experiments import ExperimentScale, QUICK_SCALE, policy_shootout
+
+    scale = ExperimentScale(
+        trace_instructions=instructions,
+        sense_interval=SENSE_INTERVAL,
+        miss_bounds=QUICK_SCALE.miss_bounds,
+        size_bounds=QUICK_SCALE.size_bounds,
+    )
+    result = policy_shootout(benchmarks=list(benchmarks), scale=scale)
+    return {"benchmarks": list(benchmarks), "summary": result.summary()}
+
+
 def measure_sweep(instructions: int, jobs_values: Sequence[int]) -> Dict[str, object]:
     """Wall-clock of one full parameter grid at each worker count.
 
@@ -196,6 +256,7 @@ def measure_sweep(instructions: int, jobs_values: Sequence[int]) -> Dict[str, ob
 def run_bench(quick: bool = False) -> Dict[str, object]:
     instructions = 150_000 if quick else TRACE_INSTRUCTIONS
     streamed_accesses = STREAMED_ACCESSES // 4 if quick else STREAMED_ACCESSES
+    shootout_benchmarks = SHOOTOUT_BENCHMARKS[:2] if quick else SHOOTOUT_BENCHMARKS
     payload = {
         "benchmark": BENCHMARK,
         "trace_instructions": instructions,
@@ -203,6 +264,10 @@ def run_bench(quick: bool = False) -> Dict[str, object]:
         "replay": measure_replay(instructions),
         "streamed": measure_streamed(streamed_accesses),
         "sweep": measure_sweep(instructions, jobs_values=(1, 2, 4)),
+        "policies": {
+            "replay_overhead": measure_policy_replay(instructions),
+            "shootout": measure_shootout(instructions, shootout_benchmarks),
+        },
     }
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "BENCH_engine.json"

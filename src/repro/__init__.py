@@ -33,10 +33,18 @@ from repro.config import (
     DRIParameters,
     MemoryTiming,
     PipelineConfig,
+    PolicySpec,
     SystemConfig,
     ThrottleConfig,
 )
-from repro.dri import DRIICache, ResizeController, SizeMask
+from repro.dri import (
+    DRIICache,
+    ResizeController,
+    ResizePolicy,
+    SizeMask,
+    build_policy,
+    policy_names,
+)
 from repro.energy import EnergyConstants, EnergyModel, RunStatistics
 from repro.memory import Cache, MemoryHierarchy
 from repro.simulation import ParameterSweep, Simulator
@@ -58,11 +66,15 @@ __all__ = [
     "DRIParameters",
     "MemoryTiming",
     "PipelineConfig",
+    "PolicySpec",
     "SystemConfig",
     "ThrottleConfig",
     "DRIICache",
     "ResizeController",
+    "ResizePolicy",
     "SizeMask",
+    "build_policy",
+    "policy_names",
     "EnergyConstants",
     "EnergyModel",
     "RunStatistics",

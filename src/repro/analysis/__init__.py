@@ -4,6 +4,7 @@ from repro.analysis.classify import ClassificationEvidence, classify, summarize_
 from repro.analysis.report import (
     benchmark_class_label,
     format_figure3,
+    format_policy_shootout,
     format_sensitivity,
     format_table,
     format_table2,
@@ -16,6 +17,7 @@ __all__ = [
     "summarize_trajectory",
     "benchmark_class_label",
     "format_figure3",
+    "format_policy_shootout",
     "format_sensitivity",
     "format_table",
     "format_table2",

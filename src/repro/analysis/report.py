@@ -12,7 +12,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence
 
-from repro.simulation.experiments import BenchmarkRow, Figure3Result, SensitivityResult
+from repro.simulation.experiments import (
+    BenchmarkRow,
+    Figure3Result,
+    PolicyShootoutResult,
+    SensitivityResult,
+)
 from repro.workloads.phases import BenchmarkClass
 from repro.workloads.spec95 import get_benchmark
 
@@ -136,6 +141,69 @@ def format_sensitivity(result: SensitivityResult, title: str) -> str:
                 row.append(f"{entry.slowdown_percent:.1f}")
         rows.append(row)
     return f"{title}\n" + format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Policy shootout (the resize-policy zoo head-to-head)
+# ----------------------------------------------------------------------
+def format_policy_shootout(result: PolicyShootoutResult) -> str:
+    """Format the policy shootout: per-benchmark rows and per-policy means.
+
+    Rows are grouped by benchmark (one row per policy) so the policies'
+    energy-delay/size/miss-rate trade-offs line up vertically; the trailing
+    table gives each policy's mean over the whole suite.
+    """
+    headers = [
+        "Benchmark",
+        "Class",
+        "Policy",
+        "E*D",
+        "Avg size",
+        "Miss rate",
+        "Slowdown %",
+        "Resizes",
+    ]
+    rows = []
+    for benchmark in result.benchmarks():
+        for policy in result.policies:
+            entry = result.rows[benchmark].get(policy)
+            if entry is None:
+                continue
+            rows.append(
+                [
+                    benchmark,
+                    benchmark_class_label(benchmark),
+                    policy,
+                    f"{entry.relative_energy_delay:.3f}",
+                    f"{entry.average_size_fraction:.3f}",
+                    f"{entry.miss_rate:.4f}",
+                    f"{entry.slowdown_percent:.2f}",
+                    str(entry.resizings),
+                ]
+            )
+    summary_headers = [
+        "Policy",
+        "Mean E*D",
+        "Mean avg size",
+        "Mean miss rate",
+        "Mean slowdown %",
+    ]
+    summary_rows = [
+        [
+            policy,
+            f"{result.mean_energy_delay(policy):.3f}",
+            f"{result.mean_size_fraction(policy):.3f}",
+            f"{result.mean_miss_rate(policy):.4f}",
+            f"{result.mean_slowdown_percent(policy):.2f}",
+        ]
+        for policy in result.policies
+    ]
+    return (
+        "Policy shootout (Figure 3 base configurations)\n"
+        + format_table(headers, rows)
+        + "\n\nPer-policy suite means\n"
+        + format_table(summary_headers, summary_rows)
+    )
 
 
 def rows_as_dicts(rows: Iterable[BenchmarkRow]) -> List[dict]:

@@ -13,8 +13,14 @@ Command       What it regenerates
 ``figure5``   Figure 5 — size-bound sensitivity
 ``figure6``   Figure 6 — 64K 4-way / 64K DM / 128K DM
 ``interval``  Section 5.6 — sense-interval robustness
+``shootout``  Resize-policy zoo head-to-head over the Figure 3 suite
+``policies``  List the registered resize policies and their options
 ``run``       One benchmark on one DRI configuration (quick look)
 ============  ==========================================================
+
+``shootout`` and ``run`` accept policy *specs*: a registry name with
+optional options, e.g. ``miss-bound``, ``hysteresis:consecutive=2`` or
+``pid:kp=1.5,ki=0.1`` (see ``repro policies`` for the catalogue).
 
 The architectural commands accept ``--benchmarks`` (comma-separated
 names), ``--instructions`` (trace length), ``--quick`` (a reduced scale
@@ -32,16 +38,25 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.analysis.report import format_figure3, format_sensitivity, format_table, format_table2
-from repro.config.parameters import DRIParameters
+from repro.analysis.report import (
+    format_figure3,
+    format_policy_shootout,
+    format_sensitivity,
+    format_table,
+    format_table2,
+)
+from repro.config.parameters import DRIParameters, PolicySpec
+from repro.dri.policies import policy_catalog
 from repro.simulation.experiments import (
     DEFAULT_SCALE,
+    DEFAULT_SHOOTOUT_POLICIES,
     QUICK_SCALE,
     ExperimentScale,
     figure3_experiment,
     figure4_experiment,
     figure5_experiment,
     figure6_experiment,
+    policy_shootout,
     section521_ratios,
     section56_interval_experiment,
     table2_experiment,
@@ -123,22 +138,81 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=help_text)
         _add_common_arguments(sub)
 
+    shootout = subparsers.add_parser(
+        "shootout", help="resize-policy zoo head-to-head over the Figure 3 suite"
+    )
+    _add_common_arguments(shootout)
+    shootout.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_SHOOTOUT_POLICIES),
+        help=(
+            "comma-separated policy specs (name or name:key=value,...); "
+            "default: the whole zoo"
+        ),
+    )
+
+    subparsers.add_parser(
+        "policies", help="list the registered resize policies and their options"
+    )
+
     run = subparsers.add_parser("run", help="run one benchmark on one DRI configuration")
     run.add_argument("benchmark", choices=benchmark_names())
     run.add_argument("--miss-bound", type=int, default=60)
     run.add_argument("--size-bound", type=int, default=2048)
     run.add_argument("--sense-interval", type=int, default=10_000)
     run.add_argument("--instructions", type=int, default=400_000)
+    run.add_argument(
+        "--policy",
+        default="miss-bound",
+        help="resize-policy spec, e.g. miss-bound or hysteresis:consecutive=2",
+    )
     return parser
+
+
+def _policies_from_args(args: argparse.Namespace) -> List[PolicySpec]:
+    # Split the list on commas, but keep a spec's own option commas with
+    # it: a segment containing "=" but no ":" continues the previous
+    # spec's options ("miss-bound,pid:kp=1.5,ki=0.1" is two specs).
+    texts: List[str] = []
+    for segment in args.policies.split(","):
+        segment = segment.strip()
+        if not segment:
+            continue
+        if texts and "=" in segment and ":" not in segment:
+            texts[-1] += "," + segment
+        else:
+            texts.append(segment)
+    if not texts:
+        raise SystemExit("no policies given")
+    try:
+        return [PolicySpec.parse(text) for text in texts]
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _format_policies() -> str:
+    rows = []
+    for name, entry in policy_catalog().items():
+        defaults = ", ".join(
+            f"{key}={'<miss_bound>' if value is None else value}"
+            for key, value in entry["defaults"].items()
+        )
+        rows.append([name, entry["description"], defaults or "-"])
+    return format_table(["Policy", "Description", "Options (defaults)"], rows)
 
 
 def _run_single(args: argparse.Namespace) -> str:
     simulator = Simulator(trace_instructions=args.instructions)
     sweep = ParameterSweep(simulator)
+    try:
+        policy = PolicySpec.parse(args.policy)
+    except ValueError as error:
+        raise SystemExit(str(error))
     parameters = DRIParameters(
         miss_bound=args.miss_bound,
         size_bound=args.size_bound,
         sense_interval=args.sense_interval,
+        policy=policy,
     )
     point = sweep.evaluate(args.benchmark, parameters)
     summary = point.comparison.summary()
@@ -164,6 +238,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 ],
             )
         )
+        return 0
+    if args.command == "policies":
+        print(_format_policies())
         return 0
     if args.command == "run":
         print(_run_single(args))
@@ -200,6 +277,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             format_sensitivity(
                 section56_interval_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
                 title="Section 5.6: sense-interval length",
+            )
+        )
+    elif args.command == "shootout":
+        print(
+            format_policy_shootout(
+                policy_shootout(
+                    policies=_policies_from_args(args),
+                    benchmarks=benchmarks,
+                    scale=scale,
+                    jobs=jobs,
+                )
             )
         )
     else:  # pragma: no cover - argparse enforces the choices

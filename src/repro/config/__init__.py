@@ -1,6 +1,12 @@
 """Configuration objects: simulated system (Table 1) and DRI parameters."""
 
-from repro.config.parameters import AGGRESSIVE, CONSERVATIVE, DRIParameters, ThrottleConfig
+from repro.config.parameters import (
+    AGGRESSIVE,
+    CONSERVATIVE,
+    DRIParameters,
+    PolicySpec,
+    ThrottleConfig,
+)
 from repro.config.system import (
     DEFAULT_SYSTEM,
     CacheGeometry,
@@ -13,6 +19,7 @@ __all__ = [
     "AGGRESSIVE",
     "CONSERVATIVE",
     "DRIParameters",
+    "PolicySpec",
     "ThrottleConfig",
     "DEFAULT_SYSTEM",
     "CacheGeometry",

@@ -23,11 +23,81 @@ ten-interval downsizing hold the paper describes in Section 5.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Tuple
 
 
 def _is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Which resize policy drives the controller, plus its keyword options.
+
+    This is pure configuration data — a policy *name* as registered in
+    :mod:`repro.dri.policies` and a canonically ordered tuple of
+    ``(key, value)`` pairs — so it can live inside the frozen, hashable
+    :class:`DRIParameters` (and therefore inside sweep memo keys and
+    worker-pool task messages) without the config layer importing any
+    policy code.  Resolution to an actual policy object happens in
+    :func:`repro.dri.policies.build_policy`.
+    """
+
+    name: str = "miss-bound"
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("policy name must be a non-empty string")
+        if any(len(pair) != 2 or not isinstance(pair[0], str) for pair in self.kwargs):
+            raise ValueError("policy kwargs must be (name, value) pairs")
+        # Canonical ordering so two specs with the same options compare
+        # (and hash, and memoize) equal regardless of construction order.
+        object.__setattr__(self, "kwargs", tuple(sorted(self.kwargs)))
+
+    @classmethod
+    def create(cls, name: str, **kwargs: Any) -> "PolicySpec":
+        """Build a spec from plain keyword arguments."""
+        return cls(name=name, kwargs=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def parse(cls, text: str) -> "PolicySpec":
+        """Parse a CLI-style spec: ``name`` or ``name:key=value,key=value``.
+
+        Values are parsed as Python literals when possible (``0.5``,
+        ``True``) and kept as strings otherwise.
+        """
+        text = text.strip()
+        if not text:
+            raise ValueError("empty policy spec")
+        name, _, tail = text.partition(":")
+        kwargs: Dict[str, Any] = {}
+        if tail:
+            for item in tail.split(","):
+                key, sep, raw = item.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(f"malformed policy option {item!r} in {text!r}")
+                try:
+                    value: Any = ast.literal_eval(raw.strip())
+                except (ValueError, SyntaxError):
+                    value = raw.strip()
+                kwargs[key.strip()] = value
+        return cls.create(name.strip(), **kwargs)
+
+    @property
+    def options(self) -> Dict[str, Any]:
+        """The keyword options as a plain dictionary."""
+        return dict(self.kwargs)
+
+    @property
+    def label(self) -> str:
+        """Human-readable form: ``name`` or ``name:key=value,...``."""
+        if not self.kwargs:
+            return self.name
+        tail = ",".join(f"{key}={value}" for key, value in self.kwargs)
+        return f"{self.name}:{tail}"
 
 
 @dataclass(frozen=True)
@@ -64,6 +134,7 @@ class DRIParameters:
     sense_interval: int = 50_000
     divisibility: int = 2
     throttle: ThrottleConfig = ThrottleConfig()
+    policy: PolicySpec = field(default_factory=PolicySpec)
 
     def __post_init__(self) -> None:
         if self.miss_bound < 0:
@@ -120,6 +191,21 @@ class DRIParameters:
     def with_divisibility(self, divisibility: int) -> "DRIParameters":
         """Return a copy with a different divisibility (Section 5.6)."""
         return replace(self, divisibility=divisibility)
+
+    def with_policy(self, policy: "PolicySpec | str", **kwargs: Any) -> "DRIParameters":
+        """Return a copy driven by a different resize policy.
+
+        ``policy`` may be a :class:`PolicySpec`, a registered policy name,
+        or a CLI-style ``name:key=value,...`` string; extra ``kwargs``
+        are merged into the spec's options.
+        """
+        if isinstance(policy, PolicySpec):
+            spec = policy
+        else:
+            spec = PolicySpec.parse(policy)
+        if kwargs:
+            spec = PolicySpec.create(spec.name, **{**spec.options, **kwargs})
+        return replace(self, policy=spec)
 
 
 AGGRESSIVE = DRIParameters(miss_bound=2000, size_bound=1024)

@@ -1,8 +1,23 @@
-"""The DRI i-cache: size mask, adaptive controller, throttle, and the cache itself."""
+"""The DRI i-cache: size mask, controller mechanism, resize-policy zoo,
+throttle, and the cache itself."""
 
 from repro.dri.controller import ResizeController, ResizeOutcome
 from repro.dri.dri_cache import DRIICache
 from repro.dri.mask import SizeMask
+from repro.dri.policies import (
+    HysteresisPolicy,
+    IntervalStats,
+    MissBoundPolicy,
+    PhaseDetectPolicy,
+    PIDPolicy,
+    PredictiveUpsizePolicy,
+    ResizePolicy,
+    ResizeRequest,
+    build_policy,
+    policy_catalog,
+    policy_names,
+    register_policy,
+)
 from repro.dri.stats import DRIStatistics, IntervalRecord
 from repro.dri.throttle import ResizeDecision, ResizeThrottle
 
@@ -15,4 +30,16 @@ __all__ = [
     "IntervalRecord",
     "ResizeDecision",
     "ResizeThrottle",
+    "ResizePolicy",
+    "ResizeRequest",
+    "IntervalStats",
+    "MissBoundPolicy",
+    "HysteresisPolicy",
+    "PIDPolicy",
+    "PhaseDetectPolicy",
+    "PredictiveUpsizePolicy",
+    "build_policy",
+    "policy_catalog",
+    "policy_names",
+    "register_policy",
 ]

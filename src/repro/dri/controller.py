@@ -1,11 +1,14 @@
 """The adaptive resizing controller of the DRI i-cache (Section 2.1).
 
-At the end of every sense interval the controller compares the interval's
-miss count against the miss-bound (Figure 1):
+At the end of every sense interval the controller asks its
+:class:`~repro.dri.policies.base.ResizePolicy` what to do with the
+interval's statistics.  Under the default
+:class:`~repro.dri.policies.miss_bound.MissBoundPolicy` this is the
+paper's Figure 1 rule:
 
-* fewer misses than the bound -> the cache has miss-rate slack, so it is
-  over-provisioned -> **downsize** to save leakage;
-* more misses than the bound  -> the working set does not fit at this
+* fewer misses than the miss-bound -> the cache has miss-rate slack, so it
+  is over-provisioned -> **downsize** to save leakage;
+* more misses than the bound -> the working set does not fit at this
   size -> **upsize** to bring the miss rate back under the bound.
 
 This is what gives the miss-bound its meaning: it is the miss count per
@@ -14,23 +17,28 @@ permits more aggressive downsizing (the paper's "aggressive"
 configuration) and a smaller one keeps the cache close to conventional
 behaviour ("conservative").
 
-Downsizing is limited by the size-bound and may be suppressed by the
+The controller itself is the **shared mechanism** every policy runs on:
+downsizing is limited by the size-bound and may be suppressed by the
 oscillation throttle; both resizing directions step along the reachable
 size ladder that :meth:`~repro.dri.mask.SizeMask.allowed_sizes` defines
 for the configured divisibility — the ladder is built from the size-bound
 up, so the controller and the mask always agree on the set of sizes the
-cache can occupy.  The controller is pure policy: it owns no cache state,
-only the current size, and reports decisions that the DRI i-cache applies
-to its tag/data arrays.
+cache can occupy.  A policy may request a jump toward a target size (e.g.
+a phase-change reset back to the full size); the mechanism clamps every
+request to the ladder and the bounds, so no policy can reach a size the
+hardware could not.  The controller owns no cache state, only the current
+size, and reports decisions that the DRI i-cache applies to its tag/data
+arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.config.parameters import DRIParameters
 from repro.dri.mask import SizeMask
+from repro.dri.policies import IntervalStats, ResizePolicy, ResizeRequest, build_policy
 from repro.dri.throttle import ResizeDecision, ResizeThrottle
 
 
@@ -43,6 +51,8 @@ class ResizeOutcome:
     new_size: int
     miss_count: int
     throttled: bool
+    requested: ResizeDecision = ResizeDecision.NONE
+    """What the policy asked for before the mechanism's clamps/throttle."""
 
     @property
     def changed(self) -> bool:
@@ -51,15 +61,27 @@ class ResizeOutcome:
 
 
 class ResizeController:
-    """Decides the DRI i-cache's size at each sense-interval boundary."""
+    """Applies a resize policy's decisions at each sense-interval boundary.
 
-    def __init__(self, parameters: DRIParameters, mask: SizeMask) -> None:
+    ``policy`` defaults to whatever ``parameters.policy`` names in the
+    policy registry (the paper's miss-bound rule unless configured
+    otherwise); passing an instance overrides the spec.
+    """
+
+    def __init__(
+        self,
+        parameters: DRIParameters,
+        mask: SizeMask,
+        policy: Optional[ResizePolicy] = None,
+    ) -> None:
         if parameters.size_bound != mask.size_bound:
             raise ValueError("parameters.size_bound must match the mask's size_bound")
         self.parameters = parameters
         self.mask = mask
+        self.policy = policy if policy is not None else build_policy(parameters.policy, parameters)
         self.throttle = ResizeThrottle(parameters.throttle)
         self._current_size = mask.geometry.size_bytes
+        self._interval_index = 0
         # The one reachable-size ladder shared with the mask: built from
         # the size-bound up by the divisibility factor, full size included.
         self._ladder = mask.allowed_sizes(parameters.divisibility)
@@ -100,43 +122,79 @@ class ResizeController:
     # ------------------------------------------------------------------
     # Decisions
     # ------------------------------------------------------------------
-    def _downsized(self) -> int:
+    def _downsized(self, target_size: Optional[int] = None) -> int:
         smaller = [size for size in self._ladder if size < self._current_size]
-        return smaller[-1] if smaller else self._current_size
+        if not smaller:
+            return self._current_size
+        if target_size is None:
+            return smaller[-1]
+        # As far down the ladder as the target asks, but never below it
+        # (and never below the size-bound, which bounds the ladder).
+        reachable = [size for size in smaller if size >= target_size]
+        return reachable[0] if reachable else smaller[0]
 
-    def _upsized(self) -> int:
+    def _upsized(self, target_size: Optional[int] = None) -> int:
         larger = [size for size in self._ladder if size > self._current_size]
-        return larger[0] if larger else self._current_size
+        if not larger:
+            return self._current_size
+        if target_size is None:
+            return larger[0]
+        reachable = [size for size in larger if size <= target_size]
+        return reachable[-1] if reachable else larger[0]
 
-    def end_of_interval(self, miss_count: int) -> ResizeOutcome:
-        """Apply the miss-bound rule for one finished sense interval."""
+    def end_of_interval(
+        self,
+        miss_count: int,
+        accesses: Optional[int] = None,
+        instructions: Optional[int] = None,
+    ) -> ResizeOutcome:
+        """Consult the policy for one finished sense interval and apply it.
+
+        ``accesses``/``instructions`` enrich the policy's observation when
+        the caller tracks them (the replay paths do); miss-count-only
+        calls keep working for policies that need nothing more.
+        """
         if miss_count < 0:
             raise ValueError("miss count cannot be negative")
         self.throttle.interval_tick()
         previous = self._current_size
+        stats = IntervalStats(
+            index=self._interval_index,
+            misses=miss_count,
+            accesses=accesses if accesses is not None else 0,
+            instructions=instructions if instructions is not None else 0,
+            current_size=previous,
+            full_size=self.full_size,
+            min_size=self.parameters.size_bound,
+            at_minimum=self.at_minimum,
+            at_maximum=self.at_maximum,
+        )
+        request = ResizeRequest.coerce(self.policy.observe(stats))
         decision = ResizeDecision.NONE
         throttled = False
 
-        if miss_count < self.parameters.miss_bound and not self.at_minimum:
+        if request.direction is ResizeDecision.DOWNSIZE and not self.at_minimum:
             if self.throttle.downsize_allowed():
                 decision = ResizeDecision.DOWNSIZE
             else:
                 throttled = True
-        elif miss_count > self.parameters.miss_bound and not self.at_maximum:
+        elif request.direction is ResizeDecision.UPSIZE and not self.at_maximum:
             decision = ResizeDecision.UPSIZE
 
         if decision is ResizeDecision.DOWNSIZE:
-            self._current_size = self._downsized()
+            self._current_size = self._downsized(request.target_size)
         elif decision is ResizeDecision.UPSIZE:
-            self._current_size = self._upsized()
+            self._current_size = self._upsized(request.target_size)
 
         self.throttle.record(decision)
+        self._interval_index += 1
         return ResizeOutcome(
             decision=decision,
             previous_size=previous,
             new_size=self._current_size,
             miss_count=miss_count,
             throttled=throttled,
+            requested=request.direction,
         )
 
     def force_size(self, size_bytes: int) -> None:
@@ -145,6 +203,8 @@ class ResizeController:
         self._current_size = size_bytes
 
     def reset(self) -> None:
-        """Return to the full size and clear the throttle."""
+        """Return to the full size and clear throttle and policy state."""
         self._current_size = self.full_size
+        self._interval_index = 0
         self.throttle.reset()
+        self.policy.reset()

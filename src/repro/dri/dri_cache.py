@@ -60,6 +60,9 @@ class DRIICache(Cache):
         simulation at fetch-line granularity passes the trace's
         instructions-per-line so the sense interval means *instructions* in
         both drive modes.
+    policy:
+        Optional :class:`~repro.dri.policies.base.ResizePolicy` instance
+        overriding the one ``parameters.policy`` names in the registry.
     """
 
     def __init__(
@@ -70,13 +73,14 @@ class DRIICache(Cache):
         address_bits: int = 32,
         auto_interval: bool = True,
         instructions_per_access: int = 1,
+        policy=None,
     ) -> None:
         super().__init__(geometry, name=name, replacement="lru")
         if instructions_per_access < 1:
             raise ValueError("instructions_per_access must be at least 1")
         self.parameters = parameters
         self.mask = SizeMask(geometry, parameters.size_bound, address_bits=address_bits)
-        self.controller = ResizeController(parameters, self.mask)
+        self.controller = ResizeController(parameters, self.mask, policy=policy)
         self.dri_stats = DRIStatistics(full_size_bytes=geometry.size_bytes)
         self.auto_interval = auto_interval
         self.instructions_per_access = instructions_per_access
@@ -189,7 +193,9 @@ class DRIICache(Cache):
         if instructions is None:
             instructions = accesses * self.instructions_per_access
         size_during = self.controller.current_size
-        outcome = self.controller.end_of_interval(misses)
+        outcome = self.controller.end_of_interval(
+            misses, accesses=accesses, instructions=instructions
+        )
         if outcome.decision is ResizeDecision.DOWNSIZE and outcome.changed:
             self._disable_sets(outcome.new_size)
         self.dri_stats.record_interval(

@@ -1,0 +1,62 @@
+"""Hysteresis policy: asymmetric downsize/upsize thresholds."""
+
+from __future__ import annotations
+
+from repro.dri.policies.base import IntervalStats, ResizePolicy, ResizeRequest, register_policy
+
+
+@register_policy
+class HysteresisPolicy(ResizePolicy):
+    """Miss-bound rule with a dead band between the two thresholds.
+
+    The single-threshold rule flips direction whenever the interval miss
+    count crosses the bound, which is exactly what makes applications
+    whose footprint sits between two ladder rungs oscillate (the paper
+    adds the throttle to suppress the symptom).  This policy attacks the
+    cause instead: it downsizes only on *clear* slack
+    (``misses < down_factor * miss_bound``) and upsizes only on *clear*
+    pressure (``misses > up_factor * miss_bound``); anything inside the
+    band holds the current size.  ``consecutive`` additionally requires
+    that many intervals in a row to agree before a downsize fires, making
+    the shrink direction deliberately slower than the grow direction
+    (downsizing destroys contents, upsizing only powers sets back on).
+    """
+
+    name = "hysteresis"
+
+    def __init__(
+        self,
+        miss_bound: int = 500,
+        down_factor: float = 0.5,
+        up_factor: float = 1.5,
+        consecutive: int = 1,
+    ) -> None:
+        if miss_bound < 0:
+            raise ValueError("miss_bound cannot be negative")
+        if not 0.0 < down_factor <= 1.0:
+            raise ValueError("down_factor must be in (0, 1]")
+        if up_factor < 1.0:
+            raise ValueError("up_factor must be at least 1")
+        if consecutive < 1:
+            raise ValueError("consecutive must be at least 1")
+        self.miss_bound = miss_bound
+        self.down_factor = down_factor
+        self.up_factor = up_factor
+        self.consecutive = consecutive
+        self._slack_streak = 0
+
+    def observe(self, stats: IntervalStats) -> ResizeRequest:
+        if stats.misses > self.up_factor * self.miss_bound:
+            self._slack_streak = 0
+            return ResizeRequest.upsize()
+        if stats.misses < self.down_factor * self.miss_bound:
+            self._slack_streak += 1
+            if self._slack_streak >= self.consecutive:
+                self._slack_streak = 0
+                return ResizeRequest.downsize()
+            return ResizeRequest.none()
+        self._slack_streak = 0
+        return ResizeRequest.none()
+
+    def reset(self) -> None:
+        self._slack_streak = 0

@@ -1,0 +1,84 @@
+"""Phase-detection policy: reset sizing state when the program changes phase."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dri.policies.base import IntervalStats, ResizePolicy, ResizeRequest, register_policy
+
+
+@register_policy
+class PhaseDetectPolicy(ResizePolicy):
+    """Miss-bound rule plus an explicit phase-change detector.
+
+    The paper attributes the DRI opportunity to program *phases* with
+    distinct working sets; the plain miss-bound rule only discovers a new
+    phase by walking the ladder one rung per interval.  This policy keeps
+    an exponential moving average of the interval miss count and treats a
+    spike of ``spike_factor`` times that average (once warmed up) as a
+    phase change: it jumps straight back to the full size (a request the
+    controller clamps to the ladder), resets its smoothed state, and holds
+    still for ``settle_intervals`` intervals so the new phase's footprint
+    can express itself before sizing resumes.  Between detections it
+    behaves exactly like the miss-bound policy.
+
+    Detected change points are recorded in ``detected_change_intervals``
+    (interval indices), which the tests compare against the synthetic
+    generator's ground-truth phase boundaries.
+    """
+
+    name = "phase-detect"
+
+    def __init__(
+        self,
+        miss_bound: int = 500,
+        spike_factor: float = 3.0,
+        smoothing: float = 0.5,
+        settle_intervals: int = 1,
+        min_average: float = 1.0,
+    ) -> None:
+        if miss_bound < 0:
+            raise ValueError("miss_bound cannot be negative")
+        if spike_factor <= 1.0:
+            raise ValueError("spike_factor must be greater than 1")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if settle_intervals < 0:
+            raise ValueError("settle_intervals cannot be negative")
+        if min_average <= 0.0:
+            raise ValueError("min_average must be positive")
+        self.miss_bound = miss_bound
+        self.spike_factor = spike_factor
+        self.smoothing = smoothing
+        self.settle_intervals = settle_intervals
+        self.min_average = min_average
+        self._average: float | None = None
+        self._settle_remaining = 0
+        self.detected_change_intervals: List[int] = []
+
+    def observe(self, stats: IntervalStats) -> ResizeRequest:
+        misses = float(stats.misses)
+        average = self._average
+        if average is not None and misses > self.spike_factor * max(average, self.min_average):
+            # Phase change: restart sizing from the full cache and re-learn.
+            self.detected_change_intervals.append(stats.index)
+            self._average = misses
+            self._settle_remaining = self.settle_intervals
+            return ResizeRequest.upsize(target_size=stats.full_size or None)
+        if average is None:
+            self._average = misses
+        else:
+            self._average = self.smoothing * misses + (1.0 - self.smoothing) * average
+        if self._settle_remaining > 0:
+            self._settle_remaining -= 1
+            return ResizeRequest.none()
+        if stats.misses < self.miss_bound:
+            return ResizeRequest.downsize()
+        if stats.misses > self.miss_bound:
+            return ResizeRequest.upsize()
+        return ResizeRequest.none()
+
+    def reset(self) -> None:
+        self._average = None
+        self._settle_remaining = 0
+        self.detected_change_intervals = []

@@ -1,0 +1,75 @@
+"""PID policy: track a per-interval miss setpoint with a PID controller."""
+
+from __future__ import annotations
+
+from repro.dri.policies.base import IntervalStats, ResizePolicy, ResizeRequest, register_policy
+
+
+@register_policy
+class PIDPolicy(ResizePolicy):
+    """Classic PID control of the interval miss count around the miss-bound.
+
+    The error signal is ``misses - miss_bound`` (positive means the cache
+    is too small).  The control value
+
+    ``kp * error  +  ki * clamp(integral)  +  kd * (error - previous_error)``
+
+    is compared against a dead band of ``deadband * miss_bound``: above it
+    the policy upsizes, below its negative it downsizes, inside it the
+    size holds.  Relative to the raw threshold rule the integral term
+    remembers sustained (but individually sub-threshold) pressure, and the
+    derivative term reacts to sharp movements one interval earlier; the
+    integral is clamped to ``integral_limit * miss_bound`` (anti-windup)
+    and bled toward zero on direction reversals so an old phase's
+    accumulated error cannot pin the cache at one extreme.
+    """
+
+    name = "pid"
+
+    def __init__(
+        self,
+        miss_bound: int = 500,
+        kp: float = 1.0,
+        ki: float = 0.2,
+        kd: float = 0.5,
+        deadband: float = 0.5,
+        integral_limit: float = 4.0,
+    ) -> None:
+        if miss_bound < 0:
+            raise ValueError("miss_bound cannot be negative")
+        if kp < 0 or ki < 0 or kd < 0:
+            raise ValueError("PID gains cannot be negative")
+        if deadband < 0:
+            raise ValueError("deadband cannot be negative")
+        if integral_limit <= 0:
+            raise ValueError("integral_limit must be positive")
+        self.miss_bound = miss_bound
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.deadband = deadband
+        self.integral_limit = integral_limit
+        self._integral = 0.0
+        self._previous_error: float | None = None
+
+    def observe(self, stats: IntervalStats) -> ResizeRequest:
+        error = float(stats.misses - self.miss_bound)
+        limit = self.integral_limit * max(1.0, float(self.miss_bound))
+        # Anti-windup: bleed the integral on sign reversals before adding,
+        # so one long phase cannot lock the controller against the next.
+        if self._integral * error < 0.0:
+            self._integral *= 0.5
+        self._integral = min(limit, max(-limit, self._integral + error))
+        derivative = 0.0 if self._previous_error is None else error - self._previous_error
+        self._previous_error = error
+        control = self.kp * error + self.ki * self._integral + self.kd * derivative
+        band = self.deadband * max(1.0, float(self.miss_bound))
+        if control > band:
+            return ResizeRequest.upsize()
+        if control < -band:
+            return ResizeRequest.downsize()
+        return ResizeRequest.none()
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error = None

@@ -1,0 +1,47 @@
+"""Predictive-upsize policy: act on the miss derivative, not just the level."""
+
+from __future__ import annotations
+
+from repro.dri.policies.base import IntervalStats, ResizePolicy, ResizeRequest, register_policy
+
+
+@register_policy
+class PredictiveUpsizePolicy(ResizePolicy):
+    """Miss-bound rule that upsizes early on a rising miss derivative.
+
+    The threshold rule reacts one interval *after* the working set has
+    outgrown the cache — the interval that pays the misses is already
+    over.  This policy watches the first difference of the interval miss
+    count: a rise steeper than ``slope_threshold * miss_bound`` predicts
+    that the level is about to cross the bound, so the cache grows one
+    rung immediately instead of waiting for the crossing.  Downsizing is
+    symmetric with the miss-bound rule but additionally requires a
+    non-increasing derivative, so a still-climbing miss count is never
+    answered with a shrink.
+    """
+
+    name = "predictive"
+
+    def __init__(self, miss_bound: int = 500, slope_threshold: float = 0.5) -> None:
+        if miss_bound < 0:
+            raise ValueError("miss_bound cannot be negative")
+        if slope_threshold <= 0:
+            raise ValueError("slope_threshold must be positive")
+        self.miss_bound = miss_bound
+        self.slope_threshold = slope_threshold
+        self._previous_misses: int | None = None
+
+    def observe(self, stats: IntervalStats) -> ResizeRequest:
+        previous = self._previous_misses
+        self._previous_misses = stats.misses
+        slope = 0 if previous is None else stats.misses - previous
+        if stats.misses > self.miss_bound:
+            return ResizeRequest.upsize()
+        if previous is not None and slope > self.slope_threshold * max(1, self.miss_bound):
+            return ResizeRequest.upsize()
+        if stats.misses < self.miss_bound and slope <= 0:
+            return ResizeRequest.downsize()
+        return ResizeRequest.none()
+
+    def reset(self) -> None:
+        self._previous_misses = None

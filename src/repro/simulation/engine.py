@@ -154,6 +154,7 @@ def replay_batched(
     miss_l2 = 0
     miss_memory = 0
     accesses = 0
+    interval_fill = 0
 
     for chunk in source.chunks(chunk_accesses):
         accesses += chunk.shape[0]
@@ -162,8 +163,20 @@ def replay_batched(
             l2_hits, l2_misses = hierarchy.access_batch_from_l1_misses(chunk[~hits])
             miss_l2 += l2_hits
             miss_memory += l2_misses
-        if dri_cache is not None and chunk.shape[0] == chunk_accesses:
-            dri_cache.end_interval(instructions=chunk_accesses * instructions_per_line)
+        if dri_cache is not None:
+            # Count accesses into the open interval rather than trusting
+            # each chunk to be exactly interval-sized: a source that cuts
+            # a short chunk mid-stream still closes intervals at the same
+            # points as the scalar loop.  A trailing partial interval is
+            # left open for ``finalize`` exactly as the scalar loop
+            # leaves it.
+            interval_fill += chunk.shape[0]
+            assert interval_fill <= chunk_accesses, (
+                "trace source yielded more than the requested chunk length"
+            )
+            if interval_fill == chunk_accesses:
+                dri_cache.end_interval(instructions=interval_fill * instructions_per_line)
+                interval_fill = 0
 
     timing.account_instructions(accesses * instructions_per_line)
     timing.account_fetch_misses(l2_latency, miss_l2)

@@ -16,6 +16,14 @@ Function               Paper artefact
 ``section56_divisibility`` Section 5.6 — divisibility 2 / 4 / 8
 =====================  =====================================================
 
+Beyond the paper, ``policy_shootout`` runs the resize-policy zoo
+(:mod:`repro.dri.policies`) head-to-head over the Figure 3 benchmark
+suite: every policy drives the same shared mechanism (ladder, bounds,
+throttle) from each benchmark's Figure 3 base configuration, and the
+result reports miss-rate, average active size, and energy-delay per
+(benchmark, policy) pair — extending the paper's evaluation of one point
+in adaptive-policy space to the surrounding space.
+
 All drivers return plain data structures (dataclasses of dictionaries and
 lists) so the benchmark harness can print the same rows/series the paper
 reports and the tests can assert on the trends.
@@ -24,10 +32,10 @@ reports and the tests can assert on the trends.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.circuit.gated_vdd import table2_summary
-from repro.config.parameters import DRIParameters
+from repro.config.parameters import DRIParameters, PolicySpec
 from repro.config.system import DEFAULT_SYSTEM, SystemConfig
 from repro.energy.model import EnergyModel
 from repro.simulation.simulator import Simulator
@@ -96,10 +104,12 @@ class BenchmarkRow:
     slowdown_percent: float
     miss_rate: float
     parameters: Optional[DRIParameters] = None
+    resizings: int = 0
 
     @classmethod
     def from_point(cls, point: SweepPoint) -> "BenchmarkRow":
         summary = point.comparison.summary()
+        dri_stats = point.simulation.dri_stats
         return cls(
             benchmark=summary["benchmark"],
             relative_energy_delay=summary["relative_energy_delay"],
@@ -109,6 +119,7 @@ class BenchmarkRow:
             slowdown_percent=summary["slowdown_percent"],
             miss_rate=summary["dri_miss_rate"],
             parameters=point.parameters,
+            resizings=dri_stats.resizings if dri_stats is not None else 0,
         )
 
 
@@ -511,6 +522,122 @@ def section56_interval_experiment(
             labelled.append((name, f"{factor}x", base_map[name].with_interval(interval)))
     points = sweep.evaluate_many([(name, params) for name, _, params in labelled])
     result = SensitivityResult()
+    for (name, label, _), point in zip(labelled, points):
+        result.add(name, label, BenchmarkRow.from_point(point))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Policy shootout (beyond the paper: the resize-policy zoo head-to-head)
+# ----------------------------------------------------------------------
+DEFAULT_SHOOTOUT_POLICIES = (
+    "miss-bound",
+    "hysteresis",
+    "pid",
+    "phase-detect",
+    "predictive",
+)
+"""The zoo policies the shootout compares by default (registry names)."""
+
+
+@dataclass
+class PolicyShootoutResult:
+    """Per-(benchmark, policy) rows of the head-to-head harness.
+
+    ``rows[benchmark][policy_label]`` is the benchmark's
+    :class:`BenchmarkRow` under that policy; every policy runs the same
+    benchmark at the same Figure 3 base parameters (recorded in
+    ``base_parameters``), so differences are attributable to the decision
+    rule alone.
+    """
+
+    policies: List[str] = field(default_factory=list)
+    rows: Dict[str, Dict[str, BenchmarkRow]] = field(default_factory=dict)
+    base_parameters: Dict[str, DRIParameters] = field(default_factory=dict)
+
+    def add(self, benchmark: str, policy: str, row: BenchmarkRow) -> None:
+        self.rows.setdefault(benchmark, {})[policy] = row
+        if policy not in self.policies:
+            self.policies.append(policy)
+
+    def row(self, benchmark: str, policy: str) -> BenchmarkRow:
+        return self.rows[benchmark][policy]
+
+    def benchmarks(self) -> List[str]:
+        return list(self.rows)
+
+    def _mean(self, policy: str, value) -> float:
+        rows = [group[policy] for group in self.rows.values() if policy in group]
+        if not rows:
+            return 0.0
+        return sum(value(row) for row in rows) / len(rows)
+
+    def mean_energy_delay(self, policy: str) -> float:
+        """Mean relative energy-delay of one policy across the suite."""
+        return self._mean(policy, lambda row: row.relative_energy_delay)
+
+    def mean_size_fraction(self, policy: str) -> float:
+        """Mean average-active-size fraction of one policy across the suite."""
+        return self._mean(policy, lambda row: row.average_size_fraction)
+
+    def mean_miss_rate(self, policy: str) -> float:
+        """Mean miss rate of one policy across the suite."""
+        return self._mean(policy, lambda row: row.miss_rate)
+
+    def mean_slowdown_percent(self, policy: str) -> float:
+        """Mean slowdown (percent) of one policy across the suite."""
+        return self._mean(policy, lambda row: row.slowdown_percent)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-policy suite means (JSON-friendly, benched into BENCH_engine)."""
+        return {
+            policy: {
+                "mean_energy_delay": self.mean_energy_delay(policy),
+                "mean_size_fraction": self.mean_size_fraction(policy),
+                "mean_miss_rate": self.mean_miss_rate(policy),
+                "mean_slowdown_percent": self.mean_slowdown_percent(policy),
+            }
+            for policy in self.policies
+        }
+
+
+def policy_shootout(
+    policies: Optional[Sequence[Union[str, PolicySpec]]] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    scale: ExperimentScale = DEFAULT_SCALE,
+    system: SystemConfig = DEFAULT_SYSTEM,
+    sweep: Optional[ParameterSweep] = None,
+    base_parameters: Optional[Dict[str, DRIParameters]] = None,
+    jobs: int = 1,
+) -> PolicyShootoutResult:
+    """Run the resize-policy zoo head-to-head over the Figure 3 suite.
+
+    Each benchmark's Figure 3 constrained-best parameters (searched under
+    the default miss-bound policy, or supplied via ``base_parameters``)
+    are re-run once per policy with only ``parameters.policy`` replaced,
+    and every (benchmark, policy) pair flows through one pooled
+    :meth:`~repro.simulation.sweep.ParameterSweep.evaluate_many` call.
+    Because the policy spec is part of :class:`DRIParameters`, the sweep
+    memo keeps every policy's result distinct — the miss-bound rows are
+    literally the Figure 3 base points, reused from the memo.
+    """
+    if policies is None:
+        policies = DEFAULT_SHOOTOUT_POLICIES
+    specs = [
+        spec if isinstance(spec, PolicySpec) else PolicySpec.parse(spec)
+        for spec in policies
+    ]
+    if benchmarks is None:
+        benchmarks = benchmark_names()
+    if sweep is None:
+        sweep = _make_sweep(scale, system, jobs=jobs)
+    base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
+    labelled: List[tuple] = []
+    for name in benchmarks:
+        for spec in specs:
+            labelled.append((name, spec.label, replace(base_map[name], policy=spec)))
+    points = sweep.evaluate_many([(name, params) for name, _, params in labelled])
+    result = PolicyShootoutResult(base_parameters=dict(base_map))
     for (name, label, _), point in zip(labelled, points):
         result.add(name, label, BenchmarkRow.from_point(point))
     return result

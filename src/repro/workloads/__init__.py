@@ -1,7 +1,12 @@
 """Synthetic SPEC95-like workloads: phase models, trace generation and
 streaming, trace stores, external-format readers, and the registry."""
 
-from repro.workloads.generator import GeneratedTraceSource, generate_trace, stream_trace
+from repro.workloads.generator import (
+    GeneratedTraceSource,
+    generate_trace,
+    phase_change_accesses,
+    stream_trace,
+)
 from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
 from repro.workloads.source import (
     ArrayTraceSource,
@@ -26,6 +31,7 @@ from repro.workloads.trace import (
 __all__ = [
     "GeneratedTraceSource",
     "generate_trace",
+    "phase_change_accesses",
     "stream_trace",
     "BenchmarkClass",
     "LoopSpec",

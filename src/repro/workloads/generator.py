@@ -84,6 +84,32 @@ def _phase_line_budget(spec: WorkloadSpec, total_lines: int) -> List[int]:
     return budgets
 
 
+def phase_change_accesses(
+    spec: WorkloadSpec,
+    total_instructions: int,
+    instructions_per_line: int = DEFAULT_INSTRUCTIONS_PER_LINE,
+) -> List[int]:
+    """Ground-truth phase-change points of a generated trace, in accesses.
+
+    Returns the (line-fetch) access indices at which the trace switches
+    from one :class:`~repro.workloads.phases.PhaseSpec` to the next —
+    exactly the boundaries :func:`generate_trace`/:func:`stream_trace`
+    produce for the same arguments, derived from the same
+    largest-remainder line budgets.  This is the labelled evaluation set
+    the phase-detection resize policies are scored against: the generator
+    *knows* where the phases are, so detected change intervals can be
+    compared to the truth instead of eyeballed.
+    """
+    total_lines = total_instructions // instructions_per_line
+    budgets = _phase_line_budget(spec, total_lines)
+    boundaries: List[int] = []
+    position = 0
+    for budget in budgets[:-1]:
+        position += budget
+        boundaries.append(position)
+    return boundaries
+
+
 def _loop_layout(
     phase: PhaseSpec, phase_base_line: int, line_size: int, rng: np.random.Generator
 ) -> List[tuple]:

@@ -13,9 +13,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config.parameters import DRIParameters
+from repro.config.parameters import DRIParameters, PolicySpec
 from repro.config.system import CacheGeometry, SystemConfig
 from repro.dri.dri_cache import DRIICache
+from repro.dri.policies import policy_names
 from repro.memory.cache import Cache
 from repro.simulation.engine import resolve_engine
 from repro.simulation.simulator import Simulator
@@ -143,6 +144,51 @@ class TestDRIEquivalence:
         assert results["scalar"] == results["batched"]
         # The cache drove its own intervals: one per 5000 instructions.
         assert results["scalar"][3] == 40_000 // 5_000 - 1 or results["scalar"][3] == 40_000 // 5_000
+
+    @pytest.mark.parametrize("policy", sorted(policy_names()))
+    def test_every_policy_runs_identical_across_engines(self, policy):
+        """The bit-identity contract holds for the whole resize-policy zoo,
+        not just the paper's miss-bound rule."""
+        parameters = DRIParameters(
+            miss_bound=30, size_bound=1024, sense_interval=5_000
+        ).with_policy(policy)
+        scalar, batched = _simulators()
+        a = scalar.run_dri("hydro2d", parameters)
+        b = batched.run_dri("hydro2d", parameters)
+        assert (a.l1_accesses, a.l1_misses) == (b.l1_accesses, b.l1_misses)
+        assert (a.l2_accesses, a.l2_misses) == (b.l2_accesses, b.l2_misses)
+        assert a.cycles == b.cycles
+        assert a.dri_stats.size_trajectory() == b.dri_stats.size_trajectory()
+        assert _interval_tuples(a.dri_stats) == _interval_tuples(b.dri_stats)
+
+    @pytest.mark.parametrize("policy", sorted(policy_names()))
+    def test_trailing_partial_interval_matches_scalar(self, policy):
+        """Regression: a trace whose length is not a multiple of the sense
+        interval ends on a partial chunk; the batched loop must leave that
+        interval open for ``finalize`` exactly as the scalar loop does —
+        for every policy — rather than firing a short decision or dropping
+        the tail from the statistics."""
+        # 82_400 instructions = 10_300 accesses; 5_000-instruction interval
+        # = 625 accesses: 16 full intervals plus a 300-access tail.
+        parameters = DRIParameters(
+            miss_bound=30, size_bound=1024, sense_interval=5_000
+        ).with_policy(policy)
+        results = {}
+        for engine in ("scalar", "batched"):
+            simulator = Simulator(
+                trace_instructions=82_400, seed=SEED, engine=engine
+            )
+            results[engine] = simulator.run_dri("hydro2d", parameters)
+        a, b = results["scalar"], results["batched"]
+        assert len(a.dri_stats.intervals) == 17  # 16 decisions + finalized tail
+        assert a.dri_stats.intervals[-1].accesses == 300
+        assert a.dri_stats.intervals[-1].resized == "none"
+        assert (a.l1_accesses, a.l1_misses, a.cycles) == (
+            b.l1_accesses,
+            b.l1_misses,
+            b.cycles,
+        )
+        assert _interval_tuples(a.dri_stats) == _interval_tuples(b.dri_stats)
 
     def test_seeded_random_workload_grid(self):
         """Property check: random workloads x parameters agree across engines."""
@@ -546,6 +592,33 @@ class TestParallelSweep:
             assert a.parameters == b.parameters
             assert a.simulation.l1_misses == b.simulation.l1_misses
             assert a.energy_delay == pytest.approx(b.energy_delay, abs=0.0)
+
+    def test_memo_distinguishes_policies_on_same_bounds(self):
+        """Regression: two policies on identical bounds must occupy distinct
+        memo entries — a memo key that ignored the policy would silently
+        return the first policy's results for every other policy."""
+        sweep = self._sweep()
+        base = DRIParameters(miss_bound=30, size_bound=1024, sense_interval=5_000)
+        specs = [PolicySpec.create("miss-bound"), PolicySpec.create("phase-detect")]
+        from dataclasses import replace
+
+        points = [
+            sweep.evaluate("hydro2d", replace(base, policy=spec)) for spec in specs
+        ]
+        assert len(sweep._dri_cache) == 2
+        # The two policies genuinely behave differently on this workload,
+        # so aliased memo entries would be observable here too.
+        assert (
+            points[0].simulation.dri_stats.size_trajectory()
+            != points[1].simulation.dri_stats.size_trajectory()
+        )
+        # Re-evaluating hits the memo and returns the matching policy's run.
+        again = sweep.evaluate("hydro2d", replace(base, policy=specs[1]))
+        assert len(sweep._dri_cache) == 2
+        assert (
+            again.simulation.dri_stats.size_trajectory()
+            == points[1].simulation.dri_stats.size_trajectory()
+        )
 
     def test_prefetch_counts_and_memoizes(self):
         sweep = self._sweep()
