@@ -24,11 +24,14 @@ optional options, e.g. ``miss-bound``, ``hysteresis:consecutive=2`` or
 
 The architectural commands accept ``--benchmarks`` (comma-separated
 names), ``--instructions`` (trace length), ``--quick`` (a reduced scale
-for a fast sanity pass), and ``--jobs`` (worker processes for the
-parameter sweeps; 0 means all cores).  With more than one job the figure
-drivers flatten every (benchmark, grid point) pair into one process pool,
-so the pool stays saturated across benchmark boundaries.  Output goes to
-stdout as the same text tables the benchmark harness writes under
+for a fast sanity pass), ``--jobs`` (worker processes for the parameter
+sweeps; 0 means all cores, clamped to the task count), and ``--chunk``
+(tasks per pool chunk; default adaptive).  With more than one job the
+figure drivers flatten every (benchmark, grid point) pair into one
+*persistent* worker pool — forked once per command, reused across every
+grid and sensitivity pass — so the pool stays saturated across benchmark
+boundaries and never pays repeated spin-up.  Output goes to stdout as
+the same text tables the benchmark harness writes under
 ``benchmarks/results/``.
 """
 
@@ -113,7 +116,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help=(
             "worker processes for the parameter sweeps, pooled across "
-            "benchmarks (0 = all cores, default 1)"
+            "benchmarks (0 = all cores, default 1; clamped to the task "
+            "count, so small grids never over-spawn)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        help=(
+            "tasks per worker-pool chunk (escape hatch; default: adaptive "
+            "— about four chunks per worker, capped at 32 tasks)"
         ),
     )
 
@@ -249,33 +262,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     scale = _scale_from_args(args)
     benchmarks = _benchmarks_from_args(args)
     jobs = args.jobs
+    chunk = args.chunk
     if args.command == "figure3":
-        print(format_figure3(figure3_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs)))
+        print(
+            format_figure3(
+                figure3_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk)
+            )
+        )
     elif args.command == "figure4":
         print(
             format_sensitivity(
-                figure4_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
+                figure4_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk),
                 title="Figure 4: miss-bound at 0.5x / base / 2x",
             )
         )
     elif args.command == "figure5":
         print(
             format_sensitivity(
-                figure5_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
+                figure5_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk),
                 title="Figure 5: size-bound at 2x / base / 0.5x",
             )
         )
     elif args.command == "figure6":
         print(
             format_sensitivity(
-                figure6_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
+                figure6_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk),
                 title="Figure 6: 64K 4-way / 64K DM / 128K DM",
             )
         )
     elif args.command == "interval":
         print(
             format_sensitivity(
-                section56_interval_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs),
+                section56_interval_experiment(
+                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk
+                ),
                 title="Section 5.6: sense-interval length",
             )
         )
@@ -287,6 +307,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     benchmarks=benchmarks,
                     scale=scale,
                     jobs=jobs,
+                    chunk=chunk,
                 )
             )
         )

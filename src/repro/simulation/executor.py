@@ -1,0 +1,226 @@
+"""Persistent worker pool for parameter sweeps.
+
+:class:`SweepExecutor` owns one warm :class:`ProcessPoolExecutor` for the
+lifetime of a sweep campaign.  The old per-call pool paid its whole setup
+bill on every ``grid``/``prefetch`` call — forking workers, re-running the
+initializer to reopen every :class:`~repro.workloads.source.TraceStore`,
+and one IPC round trip per grid point.  The executor amortizes all three:
+
+* **Pool lifecycle** — workers are forked once, on the first parallel
+  call, and reused by every later call until :meth:`close` (the owning
+  :class:`~repro.simulation.sweep.ParameterSweep` closes it when it is
+  closed or collected).  ``pools_spawned`` and ``worker_pids`` exist so
+  tests can assert the pool really persists.
+* **Per-worker state cache** — each worker keeps ``{benchmark: (opened
+  store, base CPI)}`` across tasks.  Task chunks carry only store *paths*;
+  a worker memory-maps a store the first time a chunk references its
+  benchmark and replays the cached source for every later task, so the
+  trace is opened once per (worker, benchmark), not once per task.
+* **Chunked dynamic dispatch** — the task list is cut into chunks
+  (adaptive size, or the caller's ``chunk``) that are all submitted up
+  front; idle workers pull the next chunk from the shared queue, so
+  assignment is dynamic (work-stealing-style: a worker that lands cheap
+  points takes more chunks) while each IPC message amortizes over a whole
+  chunk.
+* **Incremental results** — :meth:`run` is an ``as_completed``-style
+  generator yielding ``(task index, result)`` as chunks finish, so a
+  caller can stream points (the sweep-service direction in ROADMAP.md);
+  :meth:`map` drains it into input order.
+
+The executor is deliberately ignorant of memoization and comparisons —
+it runs ``(benchmark, parameters)`` tasks and nothing else.  Ordering,
+memo fills, and bit-identity with the serial path are the sweep's job
+(and are what the equivalence tests pin).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.config.parameters import DRIParameters
+from repro.config.system import SystemConfig
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import Simulator
+from repro.workloads.source import TraceSource, TraceStore
+
+SweepTask = Tuple[str, Optional[DRIParameters]]
+"""One work unit: (benchmark name, parameters); ``None`` parameters mean
+the conventional baseline run."""
+
+StoreMap = Dict[str, Tuple[str, float]]
+"""``{benchmark: (TraceStore path, base CPI)}`` — the only trace payload
+that ever crosses the process boundary."""
+
+CHUNKS_PER_WORKER = 4
+"""Adaptive chunking target: enough chunks per worker that one slow chunk
+cannot serialise the tail, few enough that IPC stays amortized."""
+
+MAX_CHUNK_TASKS = 32
+"""Adaptive chunk-size ceiling, so very large grids still rebalance."""
+
+# ----------------------------------------------------------------------
+# Worker-process side
+# ----------------------------------------------------------------------
+_worker_simulator: Optional[Simulator] = None
+_worker_sources: Dict[str, Tuple[TraceSource, float, str]] = {}
+"""Per-worker cache: ``{benchmark: (opened source, base CPI, store path)}``.
+Lives for the whole pool lifetime, across every chunk the worker runs."""
+
+
+def _executor_worker_init(system: SystemConfig, engine: str) -> None:
+    """Pool initializer: build the worker's simulator, start an empty cache.
+
+    Runs exactly once per worker process.  Stores are *not* opened here —
+    the benchmark set can grow across calls on a persistent pool, so
+    workers open stores lazily from the paths each chunk carries.
+    """
+    global _worker_simulator, _worker_sources
+    _worker_simulator = Simulator(system=system, engine=engine)
+    _worker_sources = {}
+
+
+def _run_chunk(
+    stores: StoreMap, tasks: Sequence[SweepTask]
+) -> Tuple[int, List[SimulationResult]]:
+    """Run one chunk of tasks in a worker; returns (worker pid, results).
+
+    ``stores`` names the store path for every benchmark the chunk touches;
+    paths not yet in the worker's cache are opened (one mmap per
+    (worker, benchmark)), cached entries are reused as-is.
+    """
+    assert _worker_simulator is not None
+    for name, (path, base_cpi) in stores.items():
+        cached = _worker_sources.get(name)
+        if cached is None or cached[2] != path:
+            _worker_sources[name] = (TraceStore.open(path), base_cpi, path)
+    results: List[SimulationResult] = []
+    for name, parameters in tasks:
+        trace, base_cpi, _ = _worker_sources[name]
+        if parameters is None:
+            results.append(_worker_simulator.run_conventional(trace))
+        else:
+            results.append(_worker_simulator.run_dri_trace(trace, base_cpi, parameters))
+    return os.getpid(), results
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class SweepExecutor:
+    """A warm worker pool that outlives individual sweep calls.
+
+    Parameters
+    ----------
+    system / engine:
+        Shipped to every worker's initializer (each worker builds one
+        :class:`Simulator` and keeps it).
+    jobs:
+        Worker-process count.  Callers clamp this to the first call's
+        task count (see :func:`repro.simulation.sweep._resolve_jobs`).
+    chunk:
+        Fixed tasks-per-chunk, or ``None`` for the adaptive policy
+        (:meth:`chunk_size`).
+    """
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        engine: str,
+        jobs: int,
+        chunk: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("SweepExecutor needs at least one worker")
+        self.system = system
+        self.engine = engine
+        self.jobs = jobs
+        self.chunk = chunk
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.pools_spawned = 0
+        self.tasks_run = 0
+        self.worker_pids: Set[int] = set()
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_executor_worker_init,
+                initargs=(self.system, self.engine),
+            )
+            self.pools_spawned += 1
+        return self._pool
+
+    @property
+    def pool_pids(self) -> Set[int]:
+        """Pids of the live pool's worker processes (empty if no pool)."""
+        if self._pool is None:
+            return set()
+        return set(self._pool._processes or ())
+
+    def close(self) -> None:
+        """Shut the pool down; the next :meth:`run` would spawn a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ------------------------------------------------------
+    def chunk_size(self, task_count: int) -> int:
+        """Tasks per chunk: the fixed ``chunk`` or the adaptive policy.
+
+        Adaptive: aim for :data:`CHUNKS_PER_WORKER` chunks per worker
+        (dynamic assignment keeps stragglers from serialising the tail),
+        capped at :data:`MAX_CHUNK_TASKS` so huge grids still rebalance.
+        """
+        if self.chunk is not None:
+            return max(1, self.chunk)
+        size = math.ceil(task_count / (self.jobs * CHUNKS_PER_WORKER))
+        return max(1, min(size, MAX_CHUNK_TASKS))
+
+    def run(
+        self, tasks: Sequence[SweepTask], stores: StoreMap
+    ) -> Iterator[Tuple[int, SimulationResult]]:
+        """Yield ``(task index, result)`` pairs as chunks complete.
+
+        All chunks are submitted up front; completion order is whatever
+        the workers produce, so callers that need input order should use
+        :meth:`map` (or index into their own task list, as the sweep's
+        memo fill does).
+        """
+        if not tasks:
+            return
+        pool = self._ensure_pool()
+        size = self.chunk_size(len(tasks))
+        pending: Dict[Future, Tuple[int, int]] = {}
+        for start in range(0, len(tasks), size):
+            chunk_tasks = list(tasks[start : start + size])
+            needed = {name: stores[name] for name, _ in chunk_tasks}
+            future = pool.submit(_run_chunk, needed, chunk_tasks)
+            pending[future] = (start, len(chunk_tasks))
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                start, count = pending.pop(future)
+                pid, results = future.result()
+                self.worker_pids.add(pid)
+                self.tasks_run += count
+                for offset, result in enumerate(results):
+                    yield start + offset, result
+
+    def map(
+        self, tasks: Sequence[SweepTask], stores: StoreMap
+    ) -> List[SimulationResult]:
+        """Run every task and return the results in input order."""
+        out: List[Optional[SimulationResult]] = [None] * len(tasks)
+        for index, result in self.run(tasks, stores):
+            out[index] = result
+        return out  # type: ignore[return-value]

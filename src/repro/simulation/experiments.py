@@ -79,7 +79,10 @@ QUICK_SCALE = ExperimentScale(
 
 
 def _make_sweep(
-    scale: ExperimentScale, system: SystemConfig = DEFAULT_SYSTEM, jobs: int = 1
+    scale: ExperimentScale,
+    system: SystemConfig = DEFAULT_SYSTEM,
+    jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> ParameterSweep:
     simulator = Simulator(
         system=system, trace_instructions=scale.trace_instructions, seed=scale.seed
@@ -89,6 +92,7 @@ def _make_sweep(
         energy_model=EnergyModel(),
         base_parameters=scale.base_parameters(),
         jobs=jobs,
+        chunk=chunk,
     )
 
 
@@ -183,12 +187,13 @@ def figure3_experiment(
     system: SystemConfig = DEFAULT_SYSTEM,
     sweep: Optional[ParameterSweep] = None,
     jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> Figure3Result:
     """Best-case constrained and unconstrained energy-delay per benchmark."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
     # One flat (benchmark, grid point) task list over one pool.
     grids = sweep.grid_many(
         benchmarks, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds
@@ -291,10 +296,11 @@ def _sensitivity(
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> SensitivityResult:
     """Shared driver for Figures 4 and 5."""
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled: List[tuple] = []
     for name in benchmarks:
@@ -322,6 +328,7 @@ def figure4_experiment(
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> SensitivityResult:
     """Vary the miss-bound to 0.5x, 1x, and 2x of the base configuration."""
     if benchmarks is None:
@@ -336,6 +343,7 @@ def figure4_experiment(
         sweep=sweep,
         base_parameters=base_parameters,
         jobs=jobs,
+        chunk=chunk,
     )
 
 
@@ -346,6 +354,7 @@ def figure5_experiment(
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> SensitivityResult:
     """Vary the size-bound to 2x, 1x, and 0.5x of the base configuration."""
     if benchmarks is None:
@@ -360,6 +369,7 @@ def figure5_experiment(
         sweep=sweep,
         base_parameters=base_parameters,
         jobs=jobs,
+        chunk=chunk,
     )
 
 
@@ -371,6 +381,7 @@ def figure6_experiment(
     scale: ExperimentScale = DEFAULT_SCALE,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> SensitivityResult:
     """Compare 64K 4-way, 64K direct-mapped, and 128K direct-mapped DRI caches.
 
@@ -386,12 +397,12 @@ def figure6_experiment(
         "64K-DM": DEFAULT_SYSTEM.with_icache(64 * 1024, associativity=1),
         "128K-DM": DEFAULT_SYSTEM.with_icache(128 * 1024, associativity=1),
     }
-    base_sweep = _make_sweep(scale, configurations["64K-DM"], jobs=jobs)
+    base_sweep = _make_sweep(scale, configurations["64K-DM"], jobs=jobs, chunk=chunk)
     resolved_parameters = _base_parameters_many(base_sweep, scale, benchmarks, base_parameters)
 
     result = SensitivityResult()
     for label, system in configurations.items():
-        sweep = _make_sweep(scale, system, jobs=jobs)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
         scaled_constants = sweep.energy_model.constants.scaled_to_size(
             system.l1_icache.size_bytes
         )
@@ -508,12 +519,13 @@ def section56_interval_experiment(
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> SensitivityResult:
     """Vary the sense-interval length around the base configuration."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, DEFAULT_SYSTEM, jobs=jobs)
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM, jobs=jobs, chunk=chunk)
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled = []
     for name in benchmarks:
@@ -609,6 +621,7 @@ def policy_shootout(
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
+    chunk: Optional[int] = None,
 ) -> PolicyShootoutResult:
     """Run the resize-policy zoo head-to-head over the Figure 3 suite.
 
@@ -630,7 +643,7 @@ def policy_shootout(
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled: List[tuple] = []
     for name in benchmarks:

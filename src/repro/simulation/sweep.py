@@ -17,35 +17,42 @@ selected.  Figures 4 and 5 reuse the same machinery with fixed parameter
 scalings instead of a search.
 
 Grid points are independent simulations, so the sweep can fan them out
-over worker processes (``jobs`` in the constructor, or per call): each
-involved benchmark's trace is spilled once into an mmap-backed
-:class:`~repro.workloads.source.TraceStore` and the pool initializer
-ships only the store *paths* — every worker memory-maps the same file,
-so the trace data exists once in the page cache no matter how many
-workers replay it, and the per-task messages stay tiny.  Every completed
-point lands in a per-(benchmark, geometry, parameters) memo, so repeated
-evaluations — the Figures 4–6 sensitivity studies all revisit the
-Figure 3 base points — never re-simulate.  The work unit of a pool is a
-flat *(benchmark, grid point)* pair, so a multi-benchmark driver
-(:meth:`ParameterSweep.grid_many`, :meth:`ParameterSweep.evaluate_many`,
+over worker processes (``jobs`` in the constructor, or per call).  The
+pool itself is a persistent :class:`~repro.simulation.executor.SweepExecutor`
+owned by the sweep: workers are forked once, on the first parallel call,
+and reused by every later ``prefetch``/``grid``/``grid_many``/
+``evaluate_many`` call until the sweep is closed.  Each involved
+benchmark's trace is spilled once into an mmap-backed
+:class:`~repro.workloads.source.TraceStore` and the executor ships only
+the store *paths* — every worker memory-maps the same file and caches
+the opened source per benchmark, so the trace data exists once in the
+page cache no matter how many workers replay it, and each worker opens a
+benchmark's store once for the pool's whole lifetime.  Tasks travel in
+adaptive chunks with dynamic assignment (``chunk`` overrides the size),
+and results stream back as chunks finish (:meth:`ParameterSweep.prefetch_iter`).
+Every completed point lands in a per-(benchmark, geometry, parameters)
+memo, so repeated evaluations — the Figures 4–6 sensitivity studies all
+revisit the Figure 3 base points — never re-simulate.  The work unit of
+a pool is a flat *(benchmark, grid point)* pair, so a multi-benchmark
+driver (:meth:`ParameterSweep.grid_many`, :meth:`ParameterSweep.evaluate_many`,
 or :meth:`ParameterSweep.prefetch` directly) keeps every worker busy
 across benchmark boundaries instead of draining one benchmark's grid at
 a time.  A parallel sweep returns exactly the same points, in the same
-order, as a serial one.
+order, as a serial one; ``jobs=1`` never touches pool machinery at all.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.config.parameters import DRIParameters
 from repro.config.system import CacheGeometry, SystemConfig
 from repro.energy.comparison import PERFORMANCE_CONSTRAINT, ComparisonResult, compare_runs
 from repro.energy.model import EnergyModel
+from repro.simulation.executor import StoreMap, SweepExecutor, SweepTask
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import Simulator, WorkloadLike
 from repro.workloads.source import TraceSource, TraceStore
@@ -59,53 +66,24 @@ DEFAULT_MISS_BOUNDS = (10, 30, 80, 200)
 DEFAULT_SIZE_BOUNDS = (1024, 4096, 16384, 65536)
 """Default size-bound grid (bytes)."""
 
-# ----------------------------------------------------------------------
-# Worker-process plumbing for parallel sweeps
-# ----------------------------------------------------------------------
-_worker_simulator: Optional[Simulator] = None
-_worker_workloads: Dict[str, Tuple[TraceSource, float]] = {}
-
-_SweepTask = Tuple[str, Optional[DRIParameters]]
+_SweepTask = SweepTask
 """One pool work unit: (benchmark name, parameters); ``None`` parameters
-mean the conventional baseline run."""
+mean the conventional baseline run.  (Worker plumbing lives in
+:mod:`repro.simulation.executor`.)"""
 
 
-def _resolve_jobs(jobs: int) -> int:
-    """Normalise a jobs request: values below one mean "all cores"."""
-    if jobs < 1:
-        return max(1, os.cpu_count() or 1)
-    return jobs
+def _resolve_jobs(jobs: int, task_count: Optional[int] = None) -> int:
+    """Normalise a jobs request: values below one mean "all cores".
 
-
-def _sweep_worker_init(
-    system: SystemConfig,
-    stores: Dict[str, Tuple[str, float]],
-    engine: str,
-) -> None:
-    """Pool initializer: open every involved benchmark's trace store.
-
-    Each worker receives ``{benchmark: (store path, base CPI)}`` — a few
-    bytes per benchmark — and memory-maps the store on open, so all
-    workers replay one shared physical copy of each trace through the
-    page cache instead of each unpickling a private array.  The per-task
-    messages carry only a benchmark name and a :class:`DRIParameters`.
+    With a ``task_count``, the result is additionally clamped to it, so a
+    4-point grid never pays for an 8-worker pool — the extra workers
+    would be forked, initialised, and never handed a task.
     """
-    global _worker_simulator, _worker_workloads
-    _worker_simulator = Simulator(system=system, engine=engine)
-    _worker_workloads = {
-        name: (TraceStore.open(path), base_cpi)
-        for name, (path, base_cpi) in stores.items()
-    }
-
-
-def _sweep_worker_run(task: _SweepTask) -> SimulationResult:
-    """Pool task: simulate one (benchmark, configuration) pair."""
-    assert _worker_simulator is not None
-    name, parameters = task
-    trace, base_cpi = _worker_workloads[name]
-    if parameters is None:
-        return _worker_simulator.run_conventional(trace)
-    return _worker_simulator.run_dri_trace(trace, base_cpi, parameters)
+    if jobs < 1:
+        jobs = max(1, os.cpu_count() or 1)
+    if task_count is not None:
+        jobs = min(jobs, max(1, task_count))
+    return jobs
 
 
 @dataclass(frozen=True)
@@ -179,6 +157,13 @@ class ParameterSweep:
         Default worker-process count for :meth:`grid` and
         :meth:`best_configuration`; 1 (the default) runs serially in
         process, values below 1 mean "all cores".
+    chunk:
+        Tasks per pool chunk (the ``--chunk`` escape hatch); ``None``
+        (the default) lets the executor pick adaptively.
+
+    A parallel sweep keeps one warm :class:`SweepExecutor` across calls;
+    :meth:`close` (or using the sweep as a context manager) shuts its
+    workers down.  The serial ``jobs=1`` path never creates one.
     """
 
     def __init__(
@@ -187,17 +172,62 @@ class ParameterSweep:
         energy_model: Optional[EnergyModel] = None,
         base_parameters: DRIParameters = DRIParameters(),
         jobs: int = 1,
+        chunk: Optional[int] = None,
     ) -> None:
         self.simulator = simulator if simulator is not None else Simulator()
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.base_parameters = base_parameters
         self.jobs = jobs
+        self.chunk = chunk
+        self._executor: Optional[SweepExecutor] = None
         self._conventional_cache: Dict[str, SimulationResult] = {}
         self._dri_cache: Dict[
             Tuple[str, CacheGeometry, DRIParameters], SimulationResult
         ] = {}
         self._store_dir: Optional[tempfile.TemporaryDirectory] = None
         self._stores: Dict[str, TraceStore] = {}
+
+    # ------------------------------------------------------------------
+    # Executor lifecycle
+    # ------------------------------------------------------------------
+    def _executor_for(self, jobs: int) -> SweepExecutor:
+        """The sweep's persistent executor, (re)built only when too small.
+
+        An existing pool with at least ``jobs`` workers is reused as-is
+        (a later small call rides the warm pool rather than respawning a
+        smaller one); only a request for *more* workers replaces it.
+        """
+        executor = self._executor
+        if executor is not None and executor.jobs < jobs:
+            executor.close()
+            executor = None
+        if executor is None:
+            executor = SweepExecutor(
+                self.simulator.system,
+                self.simulator.engine,
+                jobs,
+                chunk=self.chunk,
+            )
+            self._executor = executor
+        return executor
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (if any); the sweep stays usable."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "ParameterSweep":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     def _store_for(self, trace: TraceLike) -> TraceStore:
         """The mmap-backed store a parallel pool ships for this trace.
@@ -346,24 +376,10 @@ class ParameterSweep:
                 )
         return parameters
 
-    def prefetch(
-        self,
-        pairs: Sequence[Tuple[WorkloadLike, Optional[DRIParameters]]],
-        jobs: Optional[int] = None,
-    ) -> int:
-        """Simulate not-yet-memoized (workload, parameters) pairs in one pool.
-
-        ``None`` parameters mean the workload's conventional baseline.
-        The pairs are flattened into one task list — *across* benchmarks —
-        so a figure driver's whole workload keeps every worker busy until
-        the queue drains, instead of pooling within one benchmark's grid
-        at a time.  With more than one worker, each involved trace is
-        spilled once into an mmap-backed store and the workers receive
-        only its path.  Results land in the same memos the serial path
-        uses, so the subsequent :meth:`evaluate`/:meth:`grid` calls are
-        pure lookups; returns the number of simulations actually run.
-        """
-        jobs = _resolve_jobs(self.jobs if jobs is None else jobs)
+    def _pending_tasks(
+        self, pairs: Sequence[Tuple[WorkloadLike, Optional[DRIParameters]]]
+    ) -> Tuple[List[_SweepTask], Dict[str, Tuple[TraceLike, float]]]:
+        """Deduplicated not-yet-memoized tasks plus the resolved traces."""
         resolved: Dict[str, Tuple[TraceLike, float]] = {}
         tasks: List[_SweepTask] = []
         seen: set = set()
@@ -381,33 +397,79 @@ class ParameterSweep:
             if task not in seen:
                 seen.add(task)
                 tasks.append(task)
+        return tasks, resolved
+
+    def _memoize(
+        self,
+        task: _SweepTask,
+        result: SimulationResult,
+        resolved: Dict[str, Tuple[TraceLike, float]],
+    ) -> None:
+        name, parameters = task
+        if parameters is None:
+            self._conventional_cache[name] = result
+        else:
+            self._dri_cache[self._dri_key(resolved[name][0], parameters)] = result
+
+    def prefetch_iter(
+        self,
+        pairs: Sequence[Tuple[WorkloadLike, Optional[DRIParameters]]],
+        jobs: Optional[int] = None,
+    ) -> Iterator[Tuple[_SweepTask, SimulationResult]]:
+        """Simulate not-yet-memoized pairs, yielding each as it completes.
+
+        The incremental face of :meth:`prefetch`: an ``as_completed``-style
+        generator over ``((benchmark, parameters), result)`` pairs —
+        completion order, not input order — with every result memoized
+        before it is yielded, so a streaming consumer (the sweep-service
+        direction) can report points while the pool keeps working.  With
+        ``jobs`` at 1 (or clamped to 1 by the task count) the simulations
+        run serially in process and yield in input order.
+        """
+        tasks, resolved = self._pending_tasks(pairs)
         if not tasks:
-            return 0
-        if jobs <= 1 or len(tasks) == 1:
+            return
+        jobs = _resolve_jobs(self.jobs if jobs is None else jobs, task_count=len(tasks))
+        if jobs <= 1:
             for name, parameters in tasks:
                 trace, base_cpi = resolved[name]
                 if parameters is None:
-                    self._conventional_cache[name] = self.simulator.run_conventional(trace)
+                    result = self.simulator.run_conventional(trace)
                 else:
-                    self._dri_cache[self._dri_key(trace, parameters)] = (
-                        self.simulator.run_dri_trace(trace, base_cpi, parameters)
-                    )
-            return len(tasks)
-        stores = {
+                    result = self.simulator.run_dri_trace(trace, base_cpi, parameters)
+                self._memoize((name, parameters), result, resolved)
+                yield (name, parameters), result
+            return
+        stores: StoreMap = {
             name: (str(self._store_for(resolved[name][0]).path), resolved[name][1])
             for name in {name for name, _ in tasks}
         }
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks)),
-            initializer=_sweep_worker_init,
-            initargs=(self.simulator.system, stores, self.simulator.engine),
-        ) as pool:
-            for (name, parameters), result in zip(tasks, pool.map(_sweep_worker_run, tasks)):
-                if parameters is None:
-                    self._conventional_cache[name] = result
-                else:
-                    self._dri_cache[self._dri_key(resolved[name][0], parameters)] = result
-        return len(tasks)
+        executor = self._executor_for(jobs)
+        for index, result in executor.run(tasks, stores):
+            task = tasks[index]
+            self._memoize(task, result, resolved)
+            yield task, result
+
+    def prefetch(
+        self,
+        pairs: Sequence[Tuple[WorkloadLike, Optional[DRIParameters]]],
+        jobs: Optional[int] = None,
+    ) -> int:
+        """Simulate not-yet-memoized (workload, parameters) pairs in one pool.
+
+        ``None`` parameters mean the workload's conventional baseline.
+        The pairs are flattened into one task list — *across* benchmarks —
+        so a figure driver's whole workload keeps every worker busy until
+        the queue drains, instead of pooling within one benchmark's grid
+        at a time.  With more than one worker the tasks flow through the
+        sweep's persistent :class:`SweepExecutor` (warm across calls);
+        each involved trace is spilled once into an mmap-backed store and
+        the workers receive only its path.  Results land in the same
+        memos the serial path uses, so the subsequent
+        :meth:`evaluate`/:meth:`grid` calls are pure lookups; returns the
+        number of simulations actually run.
+        """
+        return sum(1 for _ in self.prefetch_iter(pairs, jobs=jobs))
 
     def grid(
         self,

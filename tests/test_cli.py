@@ -25,6 +25,15 @@ class TestParser:
         assert args.quick
         assert args.instructions == 50000
 
+    def test_figure_commands_accept_jobs_and_chunk(self):
+        args = build_parser().parse_args(["figure4", "--jobs", "2", "--chunk", "8"])
+        assert args.jobs == 2
+        assert args.chunk == 8
+
+    def test_chunk_defaults_to_adaptive(self):
+        args = build_parser().parse_args(["figure3"])
+        assert args.chunk is None
+
     def test_run_command_requires_known_benchmark(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "vortex"])
@@ -66,6 +75,28 @@ class TestCommands:
     def test_figure3_quick_subset(self, capsys):
         exit_code = main(
             ["figure3", "--benchmarks", "compress", "--quick", "--instructions", "60000"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "compress" in output
+        assert "Mean energy-delay reduction" in output
+
+    def test_figure3_parallel_with_chunk(self, capsys):
+        # The --jobs/--chunk path end to end: a pooled quick figure must
+        # print the same kind of table the serial path does.
+        exit_code = main(
+            [
+                "figure3",
+                "--benchmarks",
+                "compress",
+                "--quick",
+                "--instructions",
+                "60000",
+                "--jobs",
+                "2",
+                "--chunk",
+                "2",
+            ]
         )
         assert exit_code == 0
         output = capsys.readouterr().out

@@ -1,0 +1,246 @@
+"""Tests for the persistent sweep executor.
+
+Pin the contract of the warm-pool subsystem: the jobs clamp, adaptive
+chunking, pool reuse across consecutive sweep calls (asserted via
+worker-pid capture — the regression is a fresh pool per call), streamed
+``prefetch_iter`` results, and bit-identity of every parallel/chunked
+variant with the serial path, pickled ``PolicySpec``s included.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config.parameters import DRIParameters
+from repro.config.system import DEFAULT_SYSTEM
+from repro.simulation.executor import MAX_CHUNK_TASKS, SweepExecutor
+from repro.simulation.simulator import Simulator
+from repro.simulation.sweep import ParameterSweep, _resolve_jobs
+
+INSTRUCTIONS = 60_000
+SENSE_INTERVAL = 5_000
+
+
+def _sweep(jobs: int = 1, chunk=None) -> ParameterSweep:
+    return ParameterSweep(
+        Simulator(trace_instructions=INSTRUCTIONS, seed=7),
+        base_parameters=DRIParameters(sense_interval=SENSE_INTERVAL),
+        jobs=jobs,
+        chunk=chunk,
+    )
+
+
+def _point_key(point):
+    return (
+        point.parameters,
+        point.simulation.cycles,
+        point.simulation.l1_misses,
+        point.simulation.l2_accesses,
+        point.energy_delay,
+    )
+
+
+def _grid_keys(result):
+    return [_point_key(point) for point in result.points]
+
+
+class TestResolveJobs:
+    def test_below_one_means_all_cores(self):
+        assert _resolve_jobs(0) == max(1, os.cpu_count() or 1)
+
+    def test_positive_request_passes_through(self):
+        assert _resolve_jobs(8) == 8
+
+    def test_clamped_to_task_count(self):
+        assert _resolve_jobs(8, task_count=4) == 4
+
+    def test_task_count_above_jobs_does_not_raise_them(self):
+        assert _resolve_jobs(2, task_count=100) == 2
+
+    def test_empty_task_list_clamps_to_one(self):
+        assert _resolve_jobs(8, task_count=0) == 1
+
+    def test_all_cores_still_clamped(self):
+        assert _resolve_jobs(0, task_count=1) == 1
+
+
+class TestChunkSize:
+    def test_adaptive_targets_four_chunks_per_worker(self):
+        executor = SweepExecutor(DEFAULT_SYSTEM, "batched", jobs=4)
+        assert executor.chunk_size(64) == 4
+
+    def test_adaptive_floor_is_one_task(self):
+        executor = SweepExecutor(DEFAULT_SYSTEM, "batched", jobs=4)
+        assert executor.chunk_size(3) == 1
+
+    def test_adaptive_cap_keeps_large_grids_rebalancing(self):
+        executor = SweepExecutor(DEFAULT_SYSTEM, "batched", jobs=1)
+        assert executor.chunk_size(10_000) == MAX_CHUNK_TASKS
+
+    def test_explicit_chunk_wins(self):
+        executor = SweepExecutor(DEFAULT_SYSTEM, "batched", jobs=4, chunk=7)
+        assert executor.chunk_size(64) == 7
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(DEFAULT_SYSTEM, "batched", jobs=0)
+
+
+class TestExecutorReuse:
+    MISS_BOUNDS = (10, 80)
+    SIZE_BOUNDS = (1024, 8192)
+
+    def test_consecutive_grid_many_calls_share_one_pool(self):
+        with _sweep(jobs=2) as sweep:
+            first = sweep.grid_many(
+                ["compress", "li"], miss_bounds=self.MISS_BOUNDS, size_bounds=self.SIZE_BOUNDS
+            )
+            executor = sweep._executor
+            assert executor is not None
+            assert executor.pools_spawned == 1
+            pool_pids = executor.pool_pids
+            assert executor.worker_pids <= pool_pids
+            assert os.getpid() not in executor.worker_pids
+
+            second = sweep.grid_many(
+                ["compress", "li"], miss_bounds=(40, 120), size_bounds=(2048,)
+            )
+            # Same executor, same pool, same worker processes: no respawn.
+            assert sweep._executor is executor
+            assert executor.pools_spawned == 1
+            assert executor.pool_pids == pool_pids
+            assert executor.worker_pids <= pool_pids
+
+        # Bit-identical to fresh-pool-free serial runs of both calls.
+        serial = _sweep()
+        for name in ("compress", "li"):
+            assert _grid_keys(first[name]) == _grid_keys(
+                serial.grid(name, miss_bounds=self.MISS_BOUNDS, size_bounds=self.SIZE_BOUNDS)
+            )
+            assert _grid_keys(second[name]) == _grid_keys(
+                serial.grid(name, miss_bounds=(40, 120), size_bounds=(2048,))
+            )
+
+    def test_jobs_request_is_clamped_at_pool_creation(self):
+        with _sweep(jobs=8) as sweep:
+            sweep.grid("compress", miss_bounds=(10, 80), size_bounds=(1024,))
+            # 2 grid points + 1 baseline = 3 tasks: an 8-worker request
+            # must not fork 8 processes.
+            assert sweep._executor is not None
+            assert sweep._executor.jobs == 3
+
+    def test_smaller_later_call_reuses_the_bigger_pool(self):
+        with _sweep(jobs=2) as sweep:
+            sweep.grid("compress", miss_bounds=self.MISS_BOUNDS, size_bounds=self.SIZE_BOUNDS)
+            executor = sweep._executor
+            sweep.grid("li", miss_bounds=(10, 80), size_bounds=(1024,))
+            assert sweep._executor is executor
+            assert executor.pools_spawned == 1
+
+    def test_jobs1_never_touches_pool_machinery(self):
+        sweep = _sweep()
+        sweep.grid("compress", miss_bounds=self.MISS_BOUNDS, size_bounds=self.SIZE_BOUNDS)
+        assert sweep._executor is None
+
+    def test_close_then_parallel_call_builds_a_fresh_executor(self):
+        sweep = _sweep(jobs=2)
+        sweep.grid("compress", miss_bounds=self.MISS_BOUNDS, size_bounds=self.SIZE_BOUNDS)
+        first_executor = sweep._executor
+        sweep.close()
+        assert sweep._executor is None
+        sweep.grid("li", miss_bounds=self.MISS_BOUNDS, size_bounds=self.SIZE_BOUNDS)
+        assert sweep._executor is not None
+        assert sweep._executor is not first_executor
+        sweep.close()
+
+
+class TestChunking:
+    def test_all_chunk_sizes_are_bit_identical_to_serial(self):
+        miss_bounds = (10, 40, 80)
+        size_bounds = (1024, 8192)
+        expected = _grid_keys(
+            _sweep().grid("compress", miss_bounds=miss_bounds, size_bounds=size_bounds)
+        )
+        for chunk in (1, 5, None):
+            with _sweep(jobs=2, chunk=chunk) as sweep:
+                result = sweep.grid(
+                    "compress", miss_bounds=miss_bounds, size_bounds=size_bounds
+                )
+            assert _grid_keys(result) == expected, f"chunk={chunk}"
+
+
+class TestPrefetchIter:
+    PAIRS_BOUNDS = ((10, 80), (1024, 8192))
+
+    def _pairs(self):
+        miss_bounds, size_bounds = self.PAIRS_BOUNDS
+        pairs = [("compress", None)]
+        for size_bound in size_bounds:
+            for miss_bound in miss_bounds:
+                pairs.append(
+                    (
+                        "compress",
+                        DRIParameters(
+                            miss_bound=miss_bound,
+                            size_bound=size_bound,
+                            sense_interval=SENSE_INTERVAL,
+                        ),
+                    )
+                )
+        return pairs
+
+    def test_streams_every_task_exactly_once_and_memoizes(self):
+        pairs = self._pairs()
+        with _sweep(jobs=2) as sweep:
+            seen = list(sweep.prefetch_iter(pairs))
+            assert len(seen) == len(pairs)
+            assert {task for task, _ in seen} == {
+                ("compress", parameters) for _, parameters in pairs
+            }
+            # Every yielded result is already in the memo, so a second
+            # prefetch runs nothing.
+            assert sweep.prefetch(pairs) == 0
+
+    def test_serial_iterator_yields_in_input_order(self):
+        pairs = self._pairs()
+        sweep = _sweep()
+        tasks = [task for task, _ in sweep.prefetch_iter(pairs, jobs=1)]
+        assert tasks == [("compress", parameters) for _, parameters in pairs]
+
+    def test_streamed_results_match_serial_evaluate(self):
+        pairs = self._pairs()
+        with _sweep(jobs=2) as sweep:
+            streamed = dict(sweep.prefetch_iter(pairs))
+        serial = _sweep()
+        for _, parameters in pairs:
+            if parameters is None:
+                expected = serial.conventional_baseline("compress")
+            else:
+                expected = serial.evaluate("compress", parameters).simulation
+            result = streamed[("compress", parameters)]
+            assert result.cycles == expected.cycles
+            assert result.l1_misses == expected.l1_misses
+            assert result.l2_accesses == expected.l2_accesses
+
+
+class TestPolicyPickling:
+    def test_policy_specs_survive_the_pool(self):
+        # The regression CI guards: an unpicklable PolicySpec (or one
+        # that loses options in transit) would either crash the pool or
+        # break bit-identity with the serial path.
+        base = DRIParameters(
+            miss_bound=40, size_bound=1024, sense_interval=SENSE_INTERVAL
+        )
+        pairs = [
+            ("compress", base.with_policy("hysteresis")),
+            ("compress", base.with_policy("pid")),
+            ("li", base.with_policy("hysteresis:consecutive=2")),
+        ]
+        with _sweep(jobs=2) as sweep:
+            parallel = sweep.evaluate_many(pairs)
+        serial_sweep = _sweep()
+        serial = [serial_sweep.evaluate(name, params) for name, params in pairs]
+        for a, b in zip(serial, parallel):
+            assert _point_key(a) == _point_key(b)
