@@ -25,8 +25,10 @@ optional options, e.g. ``miss-bound``, ``hysteresis:consecutive=2`` or
 The architectural commands accept ``--benchmarks`` (comma-separated
 names), ``--instructions`` (trace length), ``--quick`` (a reduced scale
 for a fast sanity pass), ``--jobs`` (worker processes for the parameter
-sweeps; 0 means all cores, clamped to the task count), and ``--chunk``
-(tasks per pool chunk; default adaptive).  With more than one job the
+sweeps; 0 means all cores, clamped to the task count), ``--chunk``
+(tasks per pool chunk; default adaptive), and ``--engine``
+(``auto``/``kernel``/``batched``/``scalar`` replay engine; ``auto``
+prefers the compiled kernel engine when Numba is installed).  With more than one job the
 figure drivers flatten every (benchmark, grid point) pair into one
 *persistent* worker pool — forked once per command, reused across every
 grid and sensitivity pass — so the pool stays saturated across benchmark
@@ -50,6 +52,7 @@ from repro.analysis.report import (
 )
 from repro.config.parameters import DRIParameters, PolicySpec
 from repro.dri.policies import policy_catalog
+from repro.simulation.engine import ENGINE_KINDS
 from repro.simulation.experiments import (
     DEFAULT_SCALE,
     DEFAULT_SHOOTOUT_POLICIES,
@@ -129,6 +132,22 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
             "— about four chunks per worker, capped at 32 tasks)"
         ),
     )
+    _add_engine_argument(parser)
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_KINDS,
+        default="auto",
+        help=(
+            "replay engine (default auto: the compiled kernel engine when "
+            "Numba is importable, else the batched numpy engine; all "
+            "engines are bit-identical — scalar is the per-address "
+            "reference loop, and an explicit 'kernel' without Numba "
+            "errors naming the [kernel] install extra)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="miss-bound",
         help="resize-policy spec, e.g. miss-bound or hysteresis:consecutive=2",
     )
+    _add_engine_argument(run)
     return parser
 
 
@@ -215,7 +235,7 @@ def _format_policies() -> str:
 
 
 def _run_single(args: argparse.Namespace) -> str:
-    simulator = Simulator(trace_instructions=args.instructions)
+    simulator = Simulator(trace_instructions=args.instructions, engine=args.engine)
     sweep = ParameterSweep(simulator)
     try:
         policy = PolicySpec.parse(args.policy)
@@ -263,30 +283,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     benchmarks = _benchmarks_from_args(args)
     jobs = args.jobs
     chunk = args.chunk
+    engine = args.engine
     if args.command == "figure3":
         print(
             format_figure3(
-                figure3_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk)
+                figure3_experiment(
+                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
+                )
             )
         )
     elif args.command == "figure4":
         print(
             format_sensitivity(
-                figure4_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk),
+                figure4_experiment(
+                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
+                ),
                 title="Figure 4: miss-bound at 0.5x / base / 2x",
             )
         )
     elif args.command == "figure5":
         print(
             format_sensitivity(
-                figure5_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk),
+                figure5_experiment(
+                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
+                ),
                 title="Figure 5: size-bound at 2x / base / 0.5x",
             )
         )
     elif args.command == "figure6":
         print(
             format_sensitivity(
-                figure6_experiment(benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk),
+                figure6_experiment(
+                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
+                ),
                 title="Figure 6: 64K 4-way / 64K DM / 128K DM",
             )
         )
@@ -294,7 +323,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(
             format_sensitivity(
                 section56_interval_experiment(
-                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk
+                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
                 ),
                 title="Section 5.6: sense-interval length",
             )
@@ -308,6 +337,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     scale=scale,
                     jobs=jobs,
                     chunk=chunk,
+                    engine=engine,
                 )
             )
         )

@@ -137,7 +137,7 @@ class DRIICache(Cache):
             self.end_interval()
         return result
 
-    def _access_batch_chunks(self, addresses: np.ndarray) -> np.ndarray:
+    def _access_batch_chunks(self, addresses: np.ndarray, kernel: bool = False) -> np.ndarray:
         """Vectorised lookup under the current size mask and min-size tags.
 
         Chunks are split internally at sense-interval boundaries (in auto
@@ -145,7 +145,8 @@ class DRIICache(Cache):
         and resize points; the active set count is re-read after every
         boundary because a resize may have changed it.  The classification
         itself is the base cache's (direct-mapped or wavefront
-        set-associative) over the masked indices.
+        set-associative, or the compiled kernel when ``kernel=True``)
+        over the masked indices.
         """
         total = addresses.shape[0]
         hits = np.empty(total, dtype=bool)
@@ -160,7 +161,7 @@ class DRIICache(Cache):
             block = (chunk >> np.uint64(self._offset_bits)).astype(np.int64)
             set_indices = block & (self.controller.current_sets - 1)
             tags = block >> self._min_index_bits
-            chunk_hits = self._classify_chunk(set_indices, tags)
+            chunk_hits = self._classify_chunk(set_indices, tags, kernel=kernel)
             misses = take - int(np.count_nonzero(chunk_hits))
             self.dri_stats.record_accesses(take, misses)
             self._interval_accesses += take

@@ -39,6 +39,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.config.system import CacheGeometry
+from repro.memory.kernels.classify import classify_chunk as _kernel_classify_chunk
 from repro.memory.replacement import DEFAULT_RANDOM_SEED, make_replacement
 
 MIN_WAVEFRONT_SETS = 8
@@ -235,7 +236,7 @@ class Cache:
     # ------------------------------------------------------------------
     # Batched access (the simulation engine's fast path)
     # ------------------------------------------------------------------
-    def access_batch(self, addresses: np.ndarray) -> np.ndarray:
+    def access_batch(self, addresses: np.ndarray, kernel: bool = False) -> np.ndarray:
         """Look up a whole chunk of addresses; returns a boolean hit mask.
 
         Statistics (accesses, hits, misses, evictions) and the resulting
@@ -243,25 +244,55 @@ class Cache:
         address in order.  Every associativity takes a vectorised path:
         direct-mapped chunks collapse to one shifted comparison,
         set-associative chunks are processed in per-set wavefronts.
+
+        With ``kernel=True`` the chunk is instead classified by the
+        compiled kernel layer (:mod:`repro.memory.kernels`): one in-order
+        loop over the same tag plane and replacement-state arrays —
+        Numba-compiled when available, the bit-identical pure-Python
+        fallback otherwise.
         """
         addresses = np.ascontiguousarray(addresses, dtype=np.uint64)
         if addresses.ndim != 1:
             raise ValueError("addresses must be a one-dimensional array")
-        return self._access_batch_chunks(addresses)
+        return self._access_batch_chunks(addresses, kernel=kernel)
 
-    def _access_batch_chunks(self, addresses: np.ndarray) -> np.ndarray:
+    def _access_batch_chunks(self, addresses: np.ndarray, kernel: bool = False) -> np.ndarray:
         """Decompose and classify a validated batch (no interval boundaries
         to respect in a plain cache; the DRI cache overrides this)."""
         block = (addresses >> np.uint64(self._offset_bits)).astype(np.int64)
         set_indices = block & self._index_mask
         tags = block >> self._index_bits
-        return self._classify_chunk(set_indices, tags)
+        return self._classify_chunk(set_indices, tags, kernel=kernel)
 
-    def _classify_chunk(self, set_indices: np.ndarray, tags: np.ndarray) -> np.ndarray:
+    def _classify_chunk(
+        self, set_indices: np.ndarray, tags: np.ndarray, kernel: bool = False
+    ) -> np.ndarray:
         """Classify one chunk of (set, tag) probes and apply the fills."""
+        if kernel:
+            return self._classify_chunk_kernel(set_indices, tags)
         if self._associativity == 1:
             return self._classify_chunk_direct(set_indices, tags)
         return self._classify_chunk_assoc(set_indices, tags)
+
+    def _classify_chunk_kernel(self, set_indices: np.ndarray, tags: np.ndarray) -> np.ndarray:
+        """Classify one chunk through the compiled kernel layer.
+
+        The kernel mutates the tag plane and replacement state in place
+        and returns the hit mask plus the miss/eviction counts; only the
+        statistics update happens in Python, once per chunk.
+        """
+        hits, misses, evictions = _kernel_classify_chunk(
+            np.ascontiguousarray(set_indices, dtype=np.int64),
+            np.ascontiguousarray(tags, dtype=np.int64),
+            self._tag_plane,
+            self._policy,
+        )
+        count = set_indices.shape[0]
+        self.stats.accesses += count
+        self.stats.hits += count - int(misses)
+        self.stats.misses += int(misses)
+        self.stats.evictions += int(evictions)
+        return hits
 
     def _classify_chunk_direct(self, set_indices: np.ndarray, tags: np.ndarray) -> np.ndarray:
         """Direct-mapped classification: one shifted comparison per chunk.

@@ -86,20 +86,23 @@ class MemoryHierarchy:
         latency += self.memory.access(self.system.l2_cache.block_size)
         return HierarchyResponse(latency=latency, level=ServiceLevel.MEMORY)
 
-    def access_batch_from_l1_misses(self, addresses: np.ndarray) -> Tuple[int, int]:
+    def access_batch_from_l1_misses(
+        self, addresses: np.ndarray, kernel: bool = False
+    ) -> Tuple[int, int]:
         """Service a chunk of L1 misses; returns ``(l2_hits, l2_misses)``.
 
         Bit-identical to calling :meth:`access_from_l1_miss` on each
         address in order — the L2 is classified through its own vectorised
         :meth:`~repro.memory.cache.Cache.access_batch` (the 4-way unified
-        L2 takes the wavefront path), and each L2 miss costs one main
-        memory access of one L2 block, so only the counts are needed to
-        reproduce the scalar latency accounting.
+        L2 takes the wavefront path, or the compiled kernel when
+        ``kernel=True``), and each L2 miss costs one main memory access
+        of one L2 block, so only the counts are needed to reproduce the
+        scalar latency accounting.
         """
         count = int(addresses.shape[0])
         if count == 0:
             return 0, 0
-        hits = self.l2.access_batch(addresses)
+        hits = self.l2.access_batch(addresses, kernel=kernel)
         l2_hits = int(np.count_nonzero(hits))
         l2_misses = count - l2_hits
         self.l2_accesses += count

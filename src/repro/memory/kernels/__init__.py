@@ -1,0 +1,38 @@
+"""Compiled classification kernels (optional Numba layer, DESIGN.md §10).
+
+The kernels consume the same dense tag plane and replacement-state
+arrays as the batched numpy classifiers, but process each access of a
+chunk in order in one tight compiled loop.  Importing this package never
+requires Numba: without it, the same functions run as bit-identical
+pure-Python fallbacks (see :mod:`repro.memory.kernels.runtime`).
+"""
+
+from repro.memory.kernels.classify import (
+    classify_chunk,
+    classify_direct,
+    classify_fifo,
+    classify_lru,
+    classify_random,
+)
+from repro.memory.kernels.runtime import (
+    KERNEL_EXTRA,
+    NUMBA_AVAILABLE,
+    KernelUnavailableError,
+    kernel_jit,
+    numba_version,
+    require_numba,
+)
+
+__all__ = [
+    "classify_chunk",
+    "classify_direct",
+    "classify_fifo",
+    "classify_lru",
+    "classify_random",
+    "KERNEL_EXTRA",
+    "NUMBA_AVAILABLE",
+    "KernelUnavailableError",
+    "kernel_jit",
+    "numba_version",
+    "require_numba",
+]

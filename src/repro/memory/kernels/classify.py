@@ -1,0 +1,237 @@
+"""Compiled per-chunk classification kernels over the tag-plane substrate.
+
+Each kernel consumes the *exact same* dense arrays the batched numpy
+classifiers work on — the ``(num_sets, associativity)`` int64 tag plane
+and the cache-wide replacement state (LRU recency ranks, FIFO next-way
+pointers, per-set LCG states) — and processes a chunk's accesses
+strictly in order in one tight loop: no argsort, no wavefronts, no
+scalar tail.  With Numba present the loops compile to machine code
+(``@njit(cache=True)``); without it they run as plain Python with
+identical semantics (see :mod:`repro.memory.kernels.runtime`).
+
+Array contracts (DESIGN.md §10)
+-------------------------------
+* ``set_indices``/``tags`` — int64, one entry per access, already
+  decomposed by the cache (masked to the active-set count on the DRI
+  path, tags at the smallest-allowed-size width).
+* ``plane`` — the cache's live ``(num_sets, associativity)`` int64 tag
+  plane; ``-1`` marks an invalid frame.  Mutated in place, frame for
+  frame as the scalar oracle would.
+* ``ranks``/``next_way``/``states`` — the live replacement-state arrays
+  of :class:`~repro.memory.replacement.LRUState` /
+  :class:`~repro.memory.replacement.FIFOState` /
+  :class:`~repro.memory.replacement.RandomState`; also mutated in place.
+  Random replacement advances exactly the probed set's LCG by exactly
+  one step per policy-consulted victim (full-set misses only), so the
+  RNG state after a kernel chunk is bit-identical to the scalar path's.
+* Return — ``(hits, misses, evictions)``: a bool hit mask in access
+  order plus the chunk's miss and eviction counts (an eviction is a miss
+  that displaced a valid block, i.e. a fill into a full set).
+
+The semantics mirror :meth:`repro.memory.cache.Cache._probe_set` line
+for line: hit on the first way holding the tag; on a miss prefer the
+first empty frame (no policy consultation, no eviction), else ask the
+policy for a victim (which always evicts); every fill updates the
+replacement state exactly as ``fill_one`` does, every hit as
+``touch_one`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.memory.kernels.runtime import kernel_jit
+from repro.memory.replacement import (
+    _LCG_INCREMENT,
+    _LCG_MASK,
+    _LCG_MULTIPLIER,
+    FIFOState,
+    LRUState,
+    RandomState,
+    ReplacementState,
+)
+
+
+@kernel_jit
+def classify_direct(
+    set_indices: np.ndarray, tags: np.ndarray, plane: np.ndarray
+) -> Tuple[np.ndarray, int, int]:
+    """Direct-mapped classification: one compare + store per access.
+
+    A one-way set has no replacement choice, so no policy state is read
+    or written — exactly like the scalar DM probe and the batched
+    shifted-comparison classifier.
+    """
+    count = set_indices.shape[0]
+    hits = np.empty(count, dtype=np.bool_)
+    misses = 0
+    evictions = 0
+    for i in range(count):
+        set_index = set_indices[i]
+        tag = tags[i]
+        stored = plane[set_index, 0]
+        if stored == tag:
+            hits[i] = True
+        else:
+            hits[i] = False
+            misses += 1
+            if stored >= 0:
+                evictions += 1
+            plane[set_index, 0] = tag
+    return hits, misses, evictions
+
+
+@kernel_jit
+def classify_lru(
+    set_indices: np.ndarray, tags: np.ndarray, plane: np.ndarray, ranks: np.ndarray
+) -> Tuple[np.ndarray, int, int]:
+    """Set-associative LRU classification in one in-order loop.
+
+    ``ranks`` rows stay permutations of ``0..ways-1`` (0 = MRU, max =
+    victim); both hits and fills promote the used way, shifting only the
+    ways that were more recent.
+    """
+    count = set_indices.shape[0]
+    ways = plane.shape[1]
+    hits = np.empty(count, dtype=np.bool_)
+    misses = 0
+    evictions = 0
+    for i in range(count):
+        set_index = set_indices[i]
+        tag = tags[i]
+        way = -1
+        for candidate in range(ways):
+            if plane[set_index, candidate] == tag:
+                way = candidate
+                break
+        if way >= 0:
+            hits[i] = True
+        else:
+            hits[i] = False
+            misses += 1
+            for candidate in range(ways):
+                if plane[set_index, candidate] == -1:
+                    way = candidate
+                    break
+            if way < 0:
+                best_rank = ranks[set_index, 0]
+                way = 0
+                for candidate in range(1, ways):
+                    if ranks[set_index, candidate] > best_rank:
+                        best_rank = ranks[set_index, candidate]
+                        way = candidate
+                evictions += 1
+            plane[set_index, way] = tag
+        rank = ranks[set_index, way]
+        if rank != 0:
+            for candidate in range(ways):
+                if ranks[set_index, candidate] < rank:
+                    ranks[set_index, candidate] += 1
+            ranks[set_index, way] = 0
+    return hits, misses, evictions
+
+
+@kernel_jit
+def classify_fifo(
+    set_indices: np.ndarray, tags: np.ndarray, plane: np.ndarray, next_way: np.ndarray
+) -> Tuple[np.ndarray, int, int]:
+    """Set-associative FIFO classification: hits never reorder, every
+    fill (empty-frame fills included) rotates the set's pointer."""
+    count = set_indices.shape[0]
+    ways = plane.shape[1]
+    hits = np.empty(count, dtype=np.bool_)
+    misses = 0
+    evictions = 0
+    for i in range(count):
+        set_index = set_indices[i]
+        tag = tags[i]
+        way = -1
+        for candidate in range(ways):
+            if plane[set_index, candidate] == tag:
+                way = candidate
+                break
+        if way >= 0:
+            hits[i] = True
+            continue
+        hits[i] = False
+        misses += 1
+        for candidate in range(ways):
+            if plane[set_index, candidate] == -1:
+                way = candidate
+                break
+        if way < 0:
+            way = next_way[set_index]
+            evictions += 1
+        plane[set_index, way] = tag
+        next_way[set_index] = (way + 1) % ways
+    return hits, misses, evictions
+
+
+@kernel_jit
+def classify_random(
+    set_indices: np.ndarray, tags: np.ndarray, plane: np.ndarray, states: np.ndarray
+) -> Tuple[np.ndarray, int, int]:
+    """Set-associative random classification with per-set LCG parity.
+
+    Only a full-set miss consults the LCG, advancing exactly the probed
+    set's state by one step — hits, empty-frame fills, and other sets'
+    traffic leave it untouched, matching the scalar ``victim_one``.
+    States stay below 2**31, so the multiply fits in int64.
+    """
+    count = set_indices.shape[0]
+    ways = plane.shape[1]
+    hits = np.empty(count, dtype=np.bool_)
+    misses = 0
+    evictions = 0
+    for i in range(count):
+        set_index = set_indices[i]
+        tag = tags[i]
+        way = -1
+        for candidate in range(ways):
+            if plane[set_index, candidate] == tag:
+                way = candidate
+                break
+        if way >= 0:
+            hits[i] = True
+            continue
+        hits[i] = False
+        misses += 1
+        for candidate in range(ways):
+            if plane[set_index, candidate] == -1:
+                way = candidate
+                break
+        if way < 0:
+            state = (_LCG_MULTIPLIER * states[set_index] + _LCG_INCREMENT) & _LCG_MASK
+            states[set_index] = state
+            way = state % ways
+            evictions += 1
+        plane[set_index, way] = tag
+    return hits, misses, evictions
+
+
+def classify_chunk(
+    set_indices: np.ndarray,
+    tags: np.ndarray,
+    plane: np.ndarray,
+    policy: ReplacementState,
+) -> Tuple[np.ndarray, int, int]:
+    """Dispatch one chunk to the kernel matching the cache's geometry/policy.
+
+    Direct-mapped planes always take the policy-free DM kernel (with one
+    way there is no replacement choice, and the scalar oracle never
+    consults the policy either); wider planes dispatch on the concrete
+    replacement-state type.  Returns ``(hits, misses, evictions)``.
+    """
+    if plane.shape[1] == 1:
+        return classify_direct(set_indices, tags, plane)
+    if isinstance(policy, LRUState):
+        return classify_lru(set_indices, tags, plane, policy.ranks)
+    if isinstance(policy, FIFOState):
+        return classify_fifo(set_indices, tags, plane, policy.next_way)
+    if isinstance(policy, RandomState):
+        return classify_random(set_indices, tags, plane, policy.states)
+    raise TypeError(
+        f"no classification kernel for replacement state {type(policy).__name__}"
+    )

@@ -1,0 +1,84 @@
+"""Guarded Numba runtime for the compiled classification kernels.
+
+Importing :mod:`repro` (or any kernel module) must never hard-require
+Numba: the tier-1 environment is numpy-only, and the kernel layer is an
+optional extra (``pip install .[kernel]``).  This module centralises the
+one guarded import:
+
+* :data:`NUMBA_AVAILABLE` — True iff ``import numba`` succeeded;
+* :func:`numba_version` — the installed version string, or ``None``;
+* :func:`kernel_jit` — ``numba.njit(cache=True, ...)`` when Numba is
+  importable, otherwise the identity decorator, so every kernel in
+  :mod:`repro.memory.kernels.classify` is *also* a plain-Python function
+  with identical semantics (the fallback the equivalence suite runs in
+  Numba-free environments);
+* :func:`require_numba` — the clear error the engine selector raises
+  when ``engine="kernel"`` is requested explicitly without Numba
+  (``engine="auto"`` never raises: it silently falls back to
+  ``batched``).
+
+The fallback matrix (see DESIGN.md §10):
+
+==============  ====================  ==================================
+engine request  Numba present         Numba absent
+==============  ====================  ==================================
+``auto``        ``kernel``            ``batched`` (silent fallback)
+``kernel``      ``kernel``            :class:`KernelUnavailableError`
+``batched``     ``batched``           ``batched``
+``scalar``      ``scalar``            ``scalar``
+==============  ====================  ==================================
+
+``Cache.access_batch(..., kernel=True)`` bypasses the selector and runs
+the kernel functions directly — compiled when Numba is present, the
+bit-identical pure-Python loops when it is not — which is how the
+equivalence tests gate the kernel semantics everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+try:  # pragma: no cover - exercised via both branches across CI jobs
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+NUMBA_AVAILABLE: bool = _numba is not None
+"""True iff Numba imported; the ``auto``/``kernel`` selectors key off this."""
+
+KERNEL_EXTRA = "kernel"
+"""Name of the optional install extra that provides Numba."""
+
+
+class KernelUnavailableError(RuntimeError):
+    """Raised when ``engine="kernel"`` is requested without Numba installed."""
+
+
+def numba_version() -> Optional[str]:
+    """The installed Numba version string, or ``None`` when absent."""
+    if _numba is None:
+        return None
+    return _numba.__version__
+
+
+def require_numba() -> None:
+    """Raise :class:`KernelUnavailableError` unless Numba is importable."""
+    if _numba is None:
+        raise KernelUnavailableError(
+            "engine 'kernel' requires Numba, which is not installed; "
+            f"install the optional extra (pip install .[{KERNEL_EXTRA}]) "
+            "or use engine='auto', which falls back to the batched engine"
+        )
+
+
+def kernel_jit(function: Callable) -> Callable:
+    """``numba.njit(cache=True)`` when available, else the function itself.
+
+    ``cache=True`` persists the compiled machine code on disk so repeated
+    processes (sweep workers, CLI invocations) skip recompilation;
+    ``nogil=True`` releases the GIL inside the classification loop, which
+    the future multi-host sweep direction can exploit with threads.
+    """
+    if _numba is None:
+        return function
+    return _numba.njit(cache=True, nogil=True)(function)

@@ -12,7 +12,21 @@ This module provides that replay loop in two interchangeable forms:
   drained through the hierarchy in one vectorised L2 classification
   (:meth:`~repro.memory.hierarchy.MemoryHierarchy.access_batch_from_l1_misses`),
   and DRI resize decisions are applied at chunk boundaries only — exactly
-  where the scalar loop applies them.
+  where the scalar loop applies them;
+* :func:`replay_kernel` — the same chunked loop, but every chunk (L1
+  classification and L2 drain alike) goes through the compiled kernel
+  layer (:mod:`repro.memory.kernels`, DESIGN.md §10): one in-order
+  Numba-compiled loop over the tag-plane and replacement-state arrays,
+  with no argsort, wavefronts, or scalar tail.
+
+Engine selection: ``"auto"`` resolves to ``"kernel"`` when Numba is
+importable and silently to ``"batched"`` otherwise; asking for
+``engine="kernel"`` explicitly without Numba raises a
+:class:`~repro.memory.kernels.KernelUnavailableError` naming the install
+extra (the pure-Python kernel fallback is bit-identical but far slower
+than batched, so it is never selected as an *engine* implicitly —
+``Cache.access_batch(..., kernel=True)`` reaches it directly for the
+equivalence tests).
 
 Both engines consume any
 :class:`~repro.workloads.source.TraceSource` — an in-memory
@@ -43,6 +57,7 @@ from repro.cpu.pipeline import TimingModel
 from repro.dri.dri_cache import DRIICache
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.kernels import runtime as kernel_runtime
 from repro.workloads.source import TraceSource, as_trace_source
 from repro.workloads.trace import InstructionTrace
 
@@ -52,15 +67,28 @@ TraceLike = Union[InstructionTrace, TraceSource]
 DEFAULT_CHUNK_ACCESSES = 1 << 16
 """Chunk length (in accesses) for runs without sense-interval boundaries."""
 
-ENGINE_KINDS = ("auto", "batched", "scalar")
-"""Accepted engine selectors: "auto" resolves to the batched engine."""
+ENGINE_KINDS = ("auto", "kernel", "batched", "scalar")
+"""Accepted engine selectors: "auto" prefers the compiled kernel engine
+when Numba is importable and falls back to the batched engine otherwise."""
 
 
 def resolve_engine(kind: str) -> str:
-    """Validate an engine selector and resolve ``"auto"``."""
+    """Validate an engine selector and resolve ``"auto"``.
+
+    ``"auto"`` resolves to ``"kernel"`` when Numba is importable, else
+    silently to ``"batched"`` (the graceful-degradation contract: a
+    numpy-only install never errors and never silently runs the slow
+    pure-Python kernel loop).  An *explicit* ``"kernel"`` without Numba
+    raises :class:`~repro.memory.kernels.KernelUnavailableError` naming
+    the missing install extra.
+    """
     if kind not in ENGINE_KINDS:
         raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
-    return "batched" if kind == "auto" else kind
+    if kind == "auto":
+        return "kernel" if kernel_runtime.NUMBA_AVAILABLE else "batched"
+    if kind == "kernel":
+        kernel_runtime.require_numba()
+    return kind
 
 
 def replay_scalar(
@@ -126,6 +154,7 @@ def replay_batched(
     base_cpi: float,
     system: SystemConfig,
     dri: Optional[DRIParameters] = None,
+    kernel: bool = False,
 ) -> int:
     """Replay ``trace`` in interval-aligned chunks; returns the cycle count.
 
@@ -138,6 +167,10 @@ def replay_batched(
     asked for chunks of exactly the interval length, so the chunk
     boundaries *are* the decision points even when the stream is being
     generated or read from disk on the fly.
+
+    ``kernel=True`` routes every chunk classification — the L1 lookup
+    and the L2 miss drain alike — through the compiled kernel layer
+    instead of the numpy classifiers (this is :func:`replay_kernel`).
     """
     source = as_trace_source(trace)
     timing = TimingModel(pipeline=system.pipeline, base_cpi=base_cpi)
@@ -158,9 +191,11 @@ def replay_batched(
 
     for chunk in source.chunks(chunk_accesses):
         accesses += chunk.shape[0]
-        hits = icache.access_batch(chunk)
+        hits = icache.access_batch(chunk, kernel=kernel)
         if not hits.all():
-            l2_hits, l2_misses = hierarchy.access_batch_from_l1_misses(chunk[~hits])
+            l2_hits, l2_misses = hierarchy.access_batch_from_l1_misses(
+                chunk[~hits], kernel=kernel
+            )
             miss_l2 += l2_hits
             miss_memory += l2_misses
         if dri_cache is not None:
@@ -184,6 +219,26 @@ def replay_batched(
     return timing.cycles
 
 
+def replay_kernel(
+    trace: TraceLike,
+    icache: Cache,
+    hierarchy: MemoryHierarchy,
+    base_cpi: float,
+    system: SystemConfig,
+    dri: Optional[DRIParameters] = None,
+) -> int:
+    """Replay ``trace`` through the compiled kernel engine.
+
+    The chunking, interval alignment, and L2 drain are exactly
+    :func:`replay_batched`'s; only the per-chunk classification differs
+    (one in-order compiled loop instead of the numpy classifiers), so
+    the bit-identity contract is inherited chunk for chunk.  Runs the
+    bit-identical pure-Python fallback when Numba is absent — callers
+    wanting the absence to be an error go through :func:`resolve_engine`.
+    """
+    return replay_batched(trace, icache, hierarchy, base_cpi, system, dri, kernel=True)
+
+
 def replay(
     trace: TraceLike,
     icache: Cache,
@@ -194,6 +249,9 @@ def replay(
     engine: str = "auto",
 ) -> int:
     """Replay a trace with the selected engine; returns the cycle count."""
-    if resolve_engine(engine) == "batched":
+    resolved = resolve_engine(engine)
+    if resolved == "kernel":
+        return replay_kernel(trace, icache, hierarchy, base_cpi, system, dri)
+    if resolved == "batched":
         return replay_batched(trace, icache, hierarchy, base_cpi, system, dri)
     return replay_scalar(trace, icache, hierarchy, base_cpi, system, dri)

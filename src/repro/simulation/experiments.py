@@ -83,9 +83,13 @@ def _make_sweep(
     system: SystemConfig = DEFAULT_SYSTEM,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> ParameterSweep:
     simulator = Simulator(
-        system=system, trace_instructions=scale.trace_instructions, seed=scale.seed
+        system=system,
+        trace_instructions=scale.trace_instructions,
+        seed=scale.seed,
+        engine=engine,
     )
     return ParameterSweep(
         simulator=simulator,
@@ -188,12 +192,13 @@ def figure3_experiment(
     sweep: Optional[ParameterSweep] = None,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> Figure3Result:
     """Best-case constrained and unconstrained energy-delay per benchmark."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
     # One flat (benchmark, grid point) task list over one pool.
     grids = sweep.grid_many(
         benchmarks, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds
@@ -297,10 +302,11 @@ def _sensitivity(
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> SensitivityResult:
     """Shared driver for Figures 4 and 5."""
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled: List[tuple] = []
     for name in benchmarks:
@@ -329,6 +335,7 @@ def figure4_experiment(
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> SensitivityResult:
     """Vary the miss-bound to 0.5x, 1x, and 2x of the base configuration."""
     if benchmarks is None:
@@ -344,6 +351,7 @@ def figure4_experiment(
         base_parameters=base_parameters,
         jobs=jobs,
         chunk=chunk,
+        engine=engine,
     )
 
 
@@ -355,6 +363,7 @@ def figure5_experiment(
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> SensitivityResult:
     """Vary the size-bound to 2x, 1x, and 0.5x of the base configuration."""
     if benchmarks is None:
@@ -370,6 +379,7 @@ def figure5_experiment(
         base_parameters=base_parameters,
         jobs=jobs,
         chunk=chunk,
+        engine=engine,
     )
 
 
@@ -382,6 +392,7 @@ def figure6_experiment(
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> SensitivityResult:
     """Compare 64K 4-way, 64K direct-mapped, and 128K direct-mapped DRI caches.
 
@@ -397,12 +408,14 @@ def figure6_experiment(
         "64K-DM": DEFAULT_SYSTEM.with_icache(64 * 1024, associativity=1),
         "128K-DM": DEFAULT_SYSTEM.with_icache(128 * 1024, associativity=1),
     }
-    base_sweep = _make_sweep(scale, configurations["64K-DM"], jobs=jobs, chunk=chunk)
+    base_sweep = _make_sweep(
+        scale, configurations["64K-DM"], jobs=jobs, chunk=chunk, engine=engine
+    )
     resolved_parameters = _base_parameters_many(base_sweep, scale, benchmarks, base_parameters)
 
     result = SensitivityResult()
     for label, system in configurations.items():
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
         scaled_constants = sweep.energy_model.constants.scaled_to_size(
             system.l1_icache.size_bytes
         )
@@ -520,12 +533,13 @@ def section56_interval_experiment(
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> SensitivityResult:
     """Vary the sense-interval length around the base configuration."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, DEFAULT_SYSTEM, jobs=jobs, chunk=chunk)
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM, jobs=jobs, chunk=chunk, engine=engine)
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled = []
     for name in benchmarks:
@@ -622,6 +636,7 @@ def policy_shootout(
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
     jobs: int = 1,
     chunk: Optional[int] = None,
+    engine: str = "auto",
 ) -> PolicyShootoutResult:
     """Run the resize-policy zoo head-to-head over the Figure 3 suite.
 
@@ -643,7 +658,7 @@ def policy_shootout(
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk)
+        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled: List[tuple] = []
     for name in benchmarks:
@@ -662,12 +677,13 @@ def section56_divisibility_experiment(
     divisibilities: Sequence[int] = (2, 4, 8),
     sweep: Optional[ParameterSweep] = None,
     base_parameters: Optional[Dict[str, DRIParameters]] = None,
+    engine: str = "auto",
 ) -> SensitivityResult:
     """Vary the divisibility (resizing granularity) around the base configuration."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, DEFAULT_SYSTEM)
+        sweep = _make_sweep(scale, DEFAULT_SYSTEM, engine=engine)
     result = SensitivityResult()
     for name in benchmarks:
         base_params = _base_parameters_for(sweep, scale, name, base_parameters)

@@ -12,11 +12,12 @@ same methodology as the paper's (one SimpleScalar binary/input per
 benchmark, many cache configurations).
 
 The replay itself lives in :mod:`repro.simulation.engine`; the simulator
-is a thin wrapper that builds the caches and selects the scalar or the
-batched engine (``engine="auto"`` resolves to batched, which is
-bit-identical and an order of magnitude faster at every associativity —
-the dense tag-plane substrate vectorises direct-mapped and
-set-associative classification alike, see DESIGN.md).
+is a thin wrapper that builds the caches and selects the scalar, batched,
+or compiled-kernel engine (``engine="auto"`` resolves to the kernel
+engine when Numba is importable and to batched otherwise; all engines
+are bit-identical — the dense tag-plane substrate vectorises
+direct-mapped and set-associative classification alike, and the kernel
+layer compiles the per-chunk loop outright, see DESIGN.md §6/§10).
 
 Workloads resolve to a :class:`~repro.workloads.source.TraceSource`:
 benchmark names and specs become (cached) in-memory traces, while any
@@ -62,10 +63,13 @@ class Simulator:
         Trace-generation seed (all configurations of one benchmark share
         the same trace).
     engine:
-        Replay engine: ``"auto"`` (default, resolves to batched),
-        ``"batched"``, or ``"scalar"``.  The engines are bit-identical;
-        ``"scalar"`` exists as the semantic reference and for the
-        throughput benchmarks.
+        Replay engine: ``"auto"`` (default; resolves to the compiled
+        ``"kernel"`` engine when Numba is importable, else to
+        ``"batched"``), ``"kernel"``, ``"batched"``, or ``"scalar"``.
+        The engines are bit-identical; ``"scalar"`` exists as the
+        semantic reference and for the throughput benchmarks, and an
+        explicit ``"kernel"`` without Numba raises a clear error naming
+        the ``[kernel]`` install extra.
     """
 
     def __init__(

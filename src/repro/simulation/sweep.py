@@ -182,7 +182,7 @@ class ParameterSweep:
         self._executor: Optional[SweepExecutor] = None
         self._conventional_cache: Dict[str, SimulationResult] = {}
         self._dri_cache: Dict[
-            Tuple[str, CacheGeometry, DRIParameters], SimulationResult
+            Tuple[str, CacheGeometry, str, DRIParameters], SimulationResult
         ] = {}
         self._store_dir: Optional[tempfile.TemporaryDirectory] = None
         self._stores: Dict[str, TraceStore] = {}
@@ -253,9 +253,20 @@ class ParameterSweep:
 
     def _dri_key(
         self, trace: TraceLike, parameters: DRIParameters
-    ) -> Tuple[str, CacheGeometry, DRIParameters]:
-        """Memo key: one entry per (benchmark, i-cache geometry, parameters)."""
-        return (trace.name, self.simulator.system.l1_icache, parameters)
+    ) -> Tuple[str, CacheGeometry, str, DRIParameters]:
+        """Memo key: one entry per (benchmark, geometry, engine, parameters).
+
+        The resolved engine identity is part of the key: the engines are
+        bit-identical, but a memo entry must record *which* engine
+        produced it so a campaign that switches engines (e.g. a kernel
+        run next to a batched cross-check) never conflates provenance.
+        """
+        return (
+            trace.name,
+            self.simulator.system.l1_icache,
+            self.simulator.engine,
+            parameters,
+        )
 
     def _dri_result(
         self, trace: TraceLike, base_cpi: float, parameters: DRIParameters
