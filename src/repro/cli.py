@@ -53,6 +53,7 @@ from repro.analysis.report import (
 from repro.config.parameters import DRIParameters, PolicySpec
 from repro.dri.policies import policy_catalog
 from repro.simulation.engine import ENGINE_KINDS
+from repro.simulation.executor import DEFAULT_MAX_RETRIES, CampaignHealth
 from repro.simulation.experiments import (
     DEFAULT_SCALE,
     DEFAULT_SHOOTOUT_POLICIES,
@@ -130,6 +131,26 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "tasks per worker-pool chunk (escape hatch; default: adaptive "
             "— about four chunks per worker, capped at 32 tasks)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=DEFAULT_MAX_RETRIES,
+        help=(
+            "retries per failed pool chunk before it is bisected down to "
+            "the poisoned task (reported as a TaskError in the campaign "
+            f"health record; default {DEFAULT_MAX_RETRIES})"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        help=(
+            "wall-clock seconds a pool chunk may run before its pool is "
+            "killed and the chunk retried (default: no timeout); set it "
+            "well above the slowest healthy chunk"
         ),
     )
     _add_engine_argument(parser)
@@ -281,68 +302,67 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     scale = _scale_from_args(args)
     benchmarks = _benchmarks_from_args(args)
-    jobs = args.jobs
-    chunk = args.chunk
-    engine = args.engine
+    health = CampaignHealth()
+    common = dict(
+        benchmarks=benchmarks,
+        scale=scale,
+        jobs=args.jobs,
+        chunk=args.chunk,
+        engine=args.engine,
+        max_retries=args.max_retries,
+        chunk_timeout=args.chunk_timeout,
+        health=health,
+    )
     if args.command == "figure3":
-        print(
-            format_figure3(
-                figure3_experiment(
-                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
-                )
-            )
-        )
+        print(format_figure3(figure3_experiment(**common)))
     elif args.command == "figure4":
         print(
             format_sensitivity(
-                figure4_experiment(
-                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
-                ),
+                figure4_experiment(**common),
                 title="Figure 4: miss-bound at 0.5x / base / 2x",
             )
         )
     elif args.command == "figure5":
         print(
             format_sensitivity(
-                figure5_experiment(
-                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
-                ),
+                figure5_experiment(**common),
                 title="Figure 5: size-bound at 2x / base / 0.5x",
             )
         )
     elif args.command == "figure6":
         print(
             format_sensitivity(
-                figure6_experiment(
-                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
-                ),
+                figure6_experiment(**common),
                 title="Figure 6: 64K 4-way / 64K DM / 128K DM",
             )
         )
     elif args.command == "interval":
         print(
             format_sensitivity(
-                section56_interval_experiment(
-                    benchmarks=benchmarks, scale=scale, jobs=jobs, chunk=chunk, engine=engine
-                ),
+                section56_interval_experiment(**common),
                 title="Section 5.6: sense-interval length",
             )
         )
     elif args.command == "shootout":
         print(
             format_policy_shootout(
-                policy_shootout(
-                    policies=_policies_from_args(args),
-                    benchmarks=benchmarks,
-                    scale=scale,
-                    jobs=jobs,
-                    chunk=chunk,
-                    engine=engine,
-                )
+                policy_shootout(policies=_policies_from_args(args), **common)
             )
         )
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {args.command!r}")
+    # The fault-tolerance ledger (retries, respawns, failed tasks,
+    # DESIGN.md §11) goes to stderr so table-consuming pipelines on
+    # stdout stay clean.
+    print(health.summary(), file=sys.stderr)
+    if health.task_errors:
+        for error in health.task_errors:
+            print(
+                f"  task failed: {error.benchmark} {error.parameters} "
+                f"[{error.kind}/{error.error_type} after {error.attempts} "
+                f"attempts]: {error.message}",
+                file=sys.stderr,
+            )
     return 0
 
 

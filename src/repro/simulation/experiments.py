@@ -38,6 +38,7 @@ from repro.circuit.gated_vdd import table2_summary
 from repro.config.parameters import DRIParameters, PolicySpec
 from repro.config.system import DEFAULT_SYSTEM, SystemConfig
 from repro.energy.model import EnergyModel
+from repro.simulation.executor import DEFAULT_MAX_RETRIES, CampaignHealth
 from repro.simulation.simulator import Simulator
 from repro.simulation.sweep import (
     DEFAULT_MISS_BOUNDS,
@@ -84,6 +85,9 @@ def _make_sweep(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> ParameterSweep:
     simulator = Simulator(
         system=system,
@@ -97,6 +101,9 @@ def _make_sweep(
         base_parameters=scale.base_parameters(),
         jobs=jobs,
         chunk=chunk,
+        max_retries=max_retries,
+        chunk_timeout=chunk_timeout,
+        health=health,
     )
 
 
@@ -193,12 +200,24 @@ def figure3_experiment(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> Figure3Result:
     """Best-case constrained and unconstrained energy-delay per benchmark."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
+        sweep = _make_sweep(
+            scale,
+            system,
+            jobs=jobs,
+            chunk=chunk,
+            engine=engine,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            health=health,
+        )
     # One flat (benchmark, grid point) task list over one pool.
     grids = sweep.grid_many(
         benchmarks, miss_bounds=scale.miss_bounds, size_bounds=scale.size_bounds
@@ -303,10 +322,22 @@ def _sensitivity(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> SensitivityResult:
     """Shared driver for Figures 4 and 5."""
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
+        sweep = _make_sweep(
+            scale,
+            system,
+            jobs=jobs,
+            chunk=chunk,
+            engine=engine,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            health=health,
+        )
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled: List[tuple] = []
     for name in benchmarks:
@@ -336,6 +367,9 @@ def figure4_experiment(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> SensitivityResult:
     """Vary the miss-bound to 0.5x, 1x, and 2x of the base configuration."""
     if benchmarks is None:
@@ -352,6 +386,9 @@ def figure4_experiment(
         jobs=jobs,
         chunk=chunk,
         engine=engine,
+        max_retries=max_retries,
+        chunk_timeout=chunk_timeout,
+        health=health,
     )
 
 
@@ -364,6 +401,9 @@ def figure5_experiment(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> SensitivityResult:
     """Vary the size-bound to 2x, 1x, and 0.5x of the base configuration."""
     if benchmarks is None:
@@ -380,6 +420,9 @@ def figure5_experiment(
         jobs=jobs,
         chunk=chunk,
         engine=engine,
+        max_retries=max_retries,
+        chunk_timeout=chunk_timeout,
+        health=health,
     )
 
 
@@ -393,6 +436,9 @@ def figure6_experiment(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> SensitivityResult:
     """Compare 64K 4-way, 64K direct-mapped, and 128K direct-mapped DRI caches.
 
@@ -409,13 +455,29 @@ def figure6_experiment(
         "128K-DM": DEFAULT_SYSTEM.with_icache(128 * 1024, associativity=1),
     }
     base_sweep = _make_sweep(
-        scale, configurations["64K-DM"], jobs=jobs, chunk=chunk, engine=engine
+        scale,
+        configurations["64K-DM"],
+        jobs=jobs,
+        chunk=chunk,
+        engine=engine,
+        max_retries=max_retries,
+        chunk_timeout=chunk_timeout,
+        health=health,
     )
     resolved_parameters = _base_parameters_many(base_sweep, scale, benchmarks, base_parameters)
 
     result = SensitivityResult()
     for label, system in configurations.items():
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
+        sweep = _make_sweep(
+            scale,
+            system,
+            jobs=jobs,
+            chunk=chunk,
+            engine=engine,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            health=health,
+        )
         scaled_constants = sweep.energy_model.constants.scaled_to_size(
             system.l1_icache.size_bytes
         )
@@ -534,12 +596,24 @@ def section56_interval_experiment(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> SensitivityResult:
     """Vary the sense-interval length around the base configuration."""
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, DEFAULT_SYSTEM, jobs=jobs, chunk=chunk, engine=engine)
+        sweep = _make_sweep(
+            scale,
+            DEFAULT_SYSTEM,
+            jobs=jobs,
+            chunk=chunk,
+            engine=engine,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            health=health,
+        )
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled = []
     for name in benchmarks:
@@ -637,6 +711,9 @@ def policy_shootout(
     jobs: int = 1,
     chunk: Optional[int] = None,
     engine: str = "auto",
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    chunk_timeout: Optional[float] = None,
+    health: Optional[CampaignHealth] = None,
 ) -> PolicyShootoutResult:
     """Run the resize-policy zoo head-to-head over the Figure 3 suite.
 
@@ -658,7 +735,16 @@ def policy_shootout(
     if benchmarks is None:
         benchmarks = benchmark_names()
     if sweep is None:
-        sweep = _make_sweep(scale, system, jobs=jobs, chunk=chunk, engine=engine)
+        sweep = _make_sweep(
+            scale,
+            system,
+            jobs=jobs,
+            chunk=chunk,
+            engine=engine,
+            max_retries=max_retries,
+            chunk_timeout=chunk_timeout,
+            health=health,
+        )
     base_map = _base_parameters_many(sweep, scale, benchmarks, base_parameters)
     labelled: List[tuple] = []
     for name in benchmarks:

@@ -54,7 +54,15 @@ class SimulationResult:
     def __post_init__(self) -> None:
         if self.cache_kind not in ("conventional", "dri"):
             raise ValueError("cache_kind must be 'conventional' or 'dri'")
-        if min(self.instructions, self.cycles, self.l1_accesses, self.l1_misses) < 0:
+        counts = (
+            self.instructions,
+            self.cycles,
+            self.l1_accesses,
+            self.l1_misses,
+            self.l2_accesses,
+            self.l2_misses,
+        )
+        if min(counts) < 0:
             raise ValueError("counts cannot be negative")
 
     @property

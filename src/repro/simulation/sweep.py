@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -52,7 +53,16 @@ from repro.config.parameters import DRIParameters
 from repro.config.system import CacheGeometry, SystemConfig
 from repro.energy.comparison import PERFORMANCE_CONSTRAINT, ComparisonResult, compare_runs
 from repro.energy.model import EnergyModel
-from repro.simulation.executor import StoreMap, SweepExecutor, SweepTask
+from repro.simulation.executor import (
+    DEFAULT_BACKOFF,
+    DEFAULT_MAX_RESPAWNS,
+    DEFAULT_MAX_RETRIES,
+    CampaignHealth,
+    StoreMap,
+    SweepExecutor,
+    SweepTask,
+    TaskError,
+)
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import Simulator, WorkloadLike
 from repro.workloads.source import TraceSource, TraceStore
@@ -70,6 +80,45 @@ _SweepTask = SweepTask
 """One pool work unit: (benchmark name, parameters); ``None`` parameters
 mean the conventional baseline run.  (Worker plumbing lives in
 :mod:`repro.simulation.executor`.)"""
+
+
+def _trace_fingerprint(trace: TraceLike) -> Tuple:
+    """A cheap content identity for collision detection.
+
+    ``(accesses, instructions/line, line size, address sample)`` — the
+    sample is the head and tail of the address array when the trace is
+    materialised (in-memory trace or mmapped store) and ``None`` for
+    streamed sources, whose content cannot be probed without replaying.
+    """
+    sample = None
+    array = None
+    if isinstance(trace, InstructionTrace):
+        array = trace.line_addresses
+    elif isinstance(trace, TraceStore):
+        array = trace.addresses_mmap
+    if array is not None and array.shape[0]:
+        sample = (
+            tuple(int(value) for value in array[:4]),
+            tuple(int(value) for value in array[-4:]),
+        )
+    return (
+        int(trace.num_accesses),
+        int(trace.instructions_per_line),
+        int(trace.line_size),
+        sample,
+    )
+
+
+def _fingerprints_conflict(known: Tuple, new: Tuple) -> bool:
+    """True when two same-named traces demonstrably differ in content.
+
+    The scalar prefix (length, geometry) must match outright; the
+    address samples are compared only when both sides have one, so a
+    streamed source never false-positives against its own spilled store.
+    """
+    if known[:3] != new[:3]:
+        return True
+    return known[3] is not None and new[3] is not None and known[3] != new[3]
 
 
 def _resolve_jobs(jobs: int, task_count: Optional[int] = None) -> int:
@@ -160,6 +209,16 @@ class ParameterSweep:
     chunk:
         Tasks per pool chunk (the ``--chunk`` escape hatch); ``None``
         (the default) lets the executor pick adaptively.
+    max_retries / chunk_timeout / backoff / max_respawns:
+        The executor's fault-tolerance knobs (DESIGN.md §11): retries
+        per chunk before bisection, the optional per-chunk wall-clock
+        deadline in seconds, the exponential-backoff base, and the
+        consecutive-pool-death budget before degrading to in-process
+        serial execution.
+    health:
+        An optional :class:`CampaignHealth` record to accumulate into
+        (drivers pass one so a multi-sweep experiment reports a single
+        ledger); ``None`` makes a private one, exposed as :attr:`health`.
 
     A parallel sweep keeps one warm :class:`SweepExecutor` across calls;
     :meth:`close` (or using the sweep as a context manager) shuts its
@@ -173,12 +232,22 @@ class ParameterSweep:
         base_parameters: DRIParameters = DRIParameters(),
         jobs: int = 1,
         chunk: Optional[int] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        chunk_timeout: Optional[float] = None,
+        backoff: float = DEFAULT_BACKOFF,
+        max_respawns: int = DEFAULT_MAX_RESPAWNS,
+        health: Optional[CampaignHealth] = None,
     ) -> None:
         self.simulator = simulator if simulator is not None else Simulator()
         self.energy_model = energy_model if energy_model is not None else EnergyModel()
         self.base_parameters = base_parameters
         self.jobs = jobs
         self.chunk = chunk
+        self.max_retries = max_retries
+        self.chunk_timeout = chunk_timeout
+        self.backoff = backoff
+        self.max_respawns = max_respawns
+        self._health = health if health is not None else CampaignHealth()
         self._executor: Optional[SweepExecutor] = None
         self._conventional_cache: Dict[str, SimulationResult] = {}
         self._dri_cache: Dict[
@@ -186,6 +255,7 @@ class ParameterSweep:
         ] = {}
         self._store_dir: Optional[tempfile.TemporaryDirectory] = None
         self._stores: Dict[str, TraceStore] = {}
+        self._trace_fingerprints: Dict[str, Tuple] = {}
 
     # ------------------------------------------------------------------
     # Executor lifecycle
@@ -207,9 +277,26 @@ class ParameterSweep:
                 self.simulator.engine,
                 jobs,
                 chunk=self.chunk,
+                max_retries=self.max_retries,
+                chunk_timeout=self.chunk_timeout,
+                backoff=self.backoff,
+                max_respawns=self.max_respawns,
+                health=self._health,
             )
             self._executor = executor
         return executor
+
+    @property
+    def health(self) -> CampaignHealth:
+        """The campaign's fault-tolerance ledger (DESIGN.md §11).
+
+        One record accumulates across every executor this sweep creates
+        *and* the serial in-process path, so ``sweep.health.summary()``
+        is meaningful whatever ``jobs`` was.  Failed tasks appear in
+        ``health.task_errors``; they are never memoized, so a later call
+        retries them.
+        """
+        return self._health
 
     def close(self) -> None:
         """Shut down the warm worker pool (if any); the sweep stays usable."""
@@ -229,6 +316,34 @@ class ParameterSweep:
         except Exception:
             pass
 
+    def _register_trace(self, trace: TraceLike) -> None:
+        """Guard the per-benchmark memos against name collisions.
+
+        Every memo, store, and task in the sweep is keyed by
+        ``trace.name`` — two *distinct* workloads sharing a name would
+        silently share one memo entry and one spilled store, and the
+        second would reuse the first's results.  A cheap content
+        fingerprint (length, geometry, head/tail address sample where
+        the addresses are materialised) detects the mismatch and raises
+        instead.
+        """
+        fingerprint = _trace_fingerprint(trace)
+        known = self._trace_fingerprints.get(trace.name)
+        if known is None:
+            self._trace_fingerprints[trace.name] = fingerprint
+            return
+        if _fingerprints_conflict(known, fingerprint):
+            raise ValueError(
+                f"benchmark name collision: a different workload named "
+                f"{trace.name!r} was already used by this sweep; distinct "
+                f"traces must carry distinct names (the sweep's memo, "
+                f"store, and task identities are all keyed by name)"
+            )
+        if fingerprint[3] is not None and known[3] is None:
+            # Keep the more specific fingerprint (the one with an
+            # address sample) for later comparisons.
+            self._trace_fingerprints[trace.name] = fingerprint
+
     def _store_for(self, trace: TraceLike) -> TraceStore:
         """The mmap-backed store a parallel pool ships for this trace.
 
@@ -238,6 +353,7 @@ class ParameterSweep:
         chunk, so even a lazily generated trace spills at flat memory —
         and reused for every later pool.
         """
+        self._register_trace(trace)
         if isinstance(trace, TraceStore):
             return trace
         store = self._stores.get(trace.name)
@@ -272,6 +388,7 @@ class ParameterSweep:
         self, trace: TraceLike, base_cpi: float, parameters: DRIParameters
     ) -> SimulationResult:
         """Run (or reuse) the DRI simulation for one configuration."""
+        self._register_trace(trace)
         key = self._dri_key(trace, parameters)
         cached = self._dri_cache.get(key)
         if cached is None:
@@ -285,6 +402,7 @@ class ParameterSweep:
     def conventional_baseline(self, workload: WorkloadLike) -> SimulationResult:
         """Run (or reuse) the conventional i-cache baseline for a workload."""
         trace, _ = self.simulator.resolve_workload(workload)
+        self._register_trace(trace)
         cached = self._conventional_cache.get(trace.name)
         if cached is None:
             cached = self.simulator.run_conventional(workload)
@@ -396,6 +514,7 @@ class ParameterSweep:
         seen: set = set()
         for workload, parameters in pairs:
             trace, base_cpi = self.simulator.resolve_workload(workload)
+            self._register_trace(trace)
             resolved[trace.name] = (trace, base_cpi)
             if parameters is None:
                 if trace.name in self._conventional_cache:
@@ -436,6 +555,15 @@ class ParameterSweep:
         direction) can report points while the pool keeps working.  With
         ``jobs`` at 1 (or clamped to 1 by the task count) the simulations
         run serially in process and yield in input order.
+
+        A task that fails for good under the fault-tolerant executor
+        (DESIGN.md §11) is *not* yielded and *not* memoized: it lands as
+        a structured :class:`TaskError` in :attr:`health` and the
+        campaign keeps going, so one poisoned point never kills the
+        healthy ones.  Every successful result is memoized before it is
+        yielded — including results collected while unwinding an
+        abandoned iteration, which is why breaking out of this generator
+        mid-stream never discards work a worker already finished.
         """
         tasks, resolved = self._pending_tasks(pairs)
         if not tasks:
@@ -444,10 +572,13 @@ class ParameterSweep:
         if jobs <= 1:
             for name, parameters in tasks:
                 trace, base_cpi = resolved[name]
+                started = time.monotonic()
                 if parameters is None:
                     result = self.simulator.run_conventional(trace)
                 else:
                     result = self.simulator.run_dri_trace(trace, base_cpi, parameters)
+                self._health.tasks_run += 1
+                self._health.chunk_wall_times.append(time.monotonic() - started)
                 self._memoize((name, parameters), result, resolved)
                 yield (name, parameters), result
             return
@@ -456,10 +587,14 @@ class ParameterSweep:
             for name in {name for name, _ in tasks}
         }
         executor = self._executor_for(jobs)
-        for index, result in executor.run(tasks, stores):
-            task = tasks[index]
-            self._memoize(task, result, resolved)
-            yield task, result
+
+        def _memoize_result(index: int, result: SimulationResult) -> None:
+            self._memoize(tasks[index], result, resolved)
+
+        for index, result in executor.run(tasks, stores, on_result=_memoize_result):
+            if isinstance(result, TaskError):
+                continue
+            yield tasks[index], result
 
     def prefetch(
         self,

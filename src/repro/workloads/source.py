@@ -222,6 +222,17 @@ class TraceStore(TraceSource):
         """
         source = as_trace_source(source)
         data_path = cls.data_path(path)
+        if isinstance(source, TraceStore):
+            # open_memmap(mode="w+") zeroes the target before anything is
+            # read, so saving a store onto its own path would truncate
+            # the very file being copied.  Refuse rather than corrupt.
+            source_path = cls.data_path(source.path)
+            if source_path.resolve() == data_path.resolve():
+                raise ValueError(
+                    f"TraceStore.save target {data_path} is the source "
+                    f"store's own data file; saving would truncate the "
+                    f"input before reading it — choose a different path"
+                )
         data_path.parent.mkdir(parents=True, exist_ok=True)
         total = source.num_accesses
         out = np.lib.format.open_memmap(

@@ -145,3 +145,48 @@ class TestWorkloadResolution:
         result = simulator.run_dri("compress", parameters)
         assert result.dri_stats is not None
         assert result.dri_stats.full_size_bytes == 16 * 1024
+
+
+class TestResultValidation:
+    """``SimulationResult.__post_init__`` must reject negative counts —
+    including the L2 pair, which previously escaped the check."""
+
+    @staticmethod
+    def _result(**overrides):
+        from repro.simulation.results import SimulationResult
+
+        fields = dict(
+            benchmark="compress",
+            cache_kind="conventional",
+            instructions=1000,
+            cycles=1500,
+            l1_accesses=250,
+            l1_misses=10,
+            l2_accesses=10,
+            l2_misses=2,
+        )
+        fields.update(overrides)
+        return SimulationResult(**fields)
+
+    def test_valid_counts_construct(self):
+        result = self._result()
+        assert result.l1_miss_rate == pytest.approx(10 / 250)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "instructions",
+            "cycles",
+            "l1_accesses",
+            "l1_misses",
+            "l2_accesses",
+            "l2_misses",
+        ],
+    )
+    def test_each_negative_count_is_rejected(self, field):
+        with pytest.raises(ValueError, match="negative"):
+            self._result(**{field: -1})
+
+    def test_bad_cache_kind_is_rejected(self):
+        with pytest.raises(ValueError, match="cache_kind"):
+            self._result(cache_kind="victim")

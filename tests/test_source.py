@@ -381,3 +381,34 @@ class TestSplitKeepsBenchmarkIdentity:
     def test_unknown_trace_still_falls_back_to_generic_cpi(self):
         _, cpi = Simulator().resolve_workload(toy_trace(name="mystery"))
         assert cpi == 0.75
+
+
+class TestSelfSaveGuard:
+    """``TraceStore.save`` onto a store's own path would zero the data
+    file before reading it; the guard must refuse instead of corrupting."""
+
+    def test_saving_a_store_onto_itself_raises(self, tmp_path):
+        trace = toy_trace()
+        store = TraceStore.save(trace, tmp_path / "t")
+        with pytest.raises(ValueError, match="truncate"):
+            TraceStore.save(store, tmp_path / "t")
+        # The original data must be untouched after the refusal.
+        reopened = TraceStore.open(tmp_path / "t")
+        assert np.array_equal(
+            reopened.materialize().line_addresses, trace.line_addresses
+        )
+
+    def test_extension_spelling_does_not_evade_the_guard(self, tmp_path):
+        store = TraceStore.save(toy_trace(), tmp_path / "t")
+        for alias in (tmp_path / "t.npy", tmp_path / "t.json"):
+            with pytest.raises(ValueError, match="truncate"):
+                TraceStore.save(store, alias)
+
+    def test_copy_to_a_fresh_path_still_works(self, tmp_path):
+        trace = toy_trace()
+        store = TraceStore.save(trace, tmp_path / "a")
+        copy = TraceStore.save(store, tmp_path / "b")
+        assert copy.num_accesses == store.num_accesses
+        assert np.array_equal(
+            copy.materialize().line_addresses, trace.line_addresses
+        )

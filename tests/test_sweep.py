@@ -97,3 +97,47 @@ class TestBestSelection:
 
         empty = SweepResult(benchmark="x", conventional=sweep.conventional_baseline("compress"))
         assert empty.best() is None
+
+
+class TestBenchmarkNameCollision:
+    """Two distinct workloads sharing a ``trace.name`` must not silently
+    share one memo entry and one spilled store."""
+
+    def _trace(self, seed: int, name: str = "twin"):
+        import dataclasses
+
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.spec95 import get_benchmark
+
+        trace = generate_trace(
+            get_benchmark("compress"), total_instructions=40_000, seed=seed
+        )
+        return dataclasses.replace(trace, name=name)
+
+    def test_conflicting_traces_raise(self, sweep):
+        sweep.conventional_baseline(self._trace(seed=1))
+        with pytest.raises(ValueError, match="collision"):
+            sweep.conventional_baseline(self._trace(seed=2))
+
+    def test_same_content_twice_is_fine(self, sweep):
+        first = sweep.conventional_baseline(self._trace(seed=1))
+        again = sweep.conventional_baseline(self._trace(seed=1))
+        assert again.cycles == first.cycles
+
+    def test_collision_detected_in_parallel_task_building(self):
+        simulator = Simulator(trace_instructions=80_000, seed=3)
+        sweep = ParameterSweep(
+            simulator,
+            base_parameters=DRIParameters(sense_interval=5_000),
+            jobs=2,
+        )
+        parameters = DRIParameters(
+            miss_bound=40, size_bound=1024, sense_interval=5_000
+        )
+        pairs = [
+            (self._trace(seed=1), parameters),
+            (self._trace(seed=2), parameters),
+        ]
+        with sweep:
+            with pytest.raises(ValueError, match="collision"):
+                sweep.prefetch(pairs)

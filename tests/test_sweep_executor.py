@@ -9,13 +9,21 @@ variant with the serial path, pickled ``PolicySpec``s included.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time
 
 import pytest
 
 from repro.config.parameters import DRIParameters
 from repro.config.system import DEFAULT_SYSTEM
-from repro.simulation.executor import MAX_CHUNK_TASKS, SweepExecutor
+import repro.simulation.executor as executor_module
+from repro.simulation.executor import (
+    MAX_CHUNK_TASKS,
+    CampaignHealth,
+    SweepExecutor,
+    TaskError,
+)
 from repro.simulation.simulator import Simulator
 from repro.simulation.sweep import ParameterSweep, _resolve_jobs
 
@@ -244,3 +252,300 @@ class TestPolicyPickling:
         serial = [serial_sweep.evaluate(name, params) for name, params in pairs]
         for a, b in zip(serial, parallel):
             assert _point_key(a) == _point_key(b)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+#
+# The hooks below are installed on the parent's module global before the
+# pool forks, so every worker inherits them.  Each hook is inert in the
+# parent (checked via pid) so the serial comparison paths stay clean, and
+# "crash once" semantics are kept across respawned workers by counting
+# attempts in a file on disk — the only state that survives os._exit.
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="fault hooks reach workers via fork inheritance",
+)
+
+MARKER_MISS_BOUND = 80
+
+
+def _fault_pairs():
+    pairs = [("compress", None)]
+    for miss_bound in (10, 20, 40, MARKER_MISS_BOUND, 160, 320):
+        pairs.append(
+            (
+                "compress",
+                DRIParameters(
+                    miss_bound=miss_bound,
+                    size_bound=1024,
+                    sense_interval=SENSE_INTERVAL,
+                ),
+            )
+        )
+    return pairs
+
+
+def _fault_sweep(**kwargs) -> ParameterSweep:
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("backoff", 0.0)
+    return ParameterSweep(
+        Simulator(trace_instructions=INSTRUCTIONS, seed=7),
+        base_parameters=DRIParameters(sense_interval=SENSE_INTERVAL),
+        **kwargs,
+    )
+
+
+def _is_marker(parameters) -> bool:
+    return parameters is not None and parameters.miss_bound == MARKER_MISS_BOUND
+
+
+def _crash_once_hook(counter_path: str, parent_pid: int):
+    def hook(name, parameters):
+        if os.getpid() == parent_pid or not _is_marker(parameters):
+            return
+        with open(counter_path, "ab") as fh:
+            fh.write(b"x")
+        if os.path.getsize(counter_path) == 1:
+            os._exit(1)
+
+    return hook
+
+
+def _serial_reference(pairs):
+    sweep = _fault_sweep(jobs=1)
+    expected = {}
+    for name, parameters in pairs:
+        if parameters is None:
+            result = sweep.conventional_baseline(name)
+        else:
+            result = sweep.evaluate(name, parameters).simulation
+        expected[(name, parameters)] = result
+    return expected
+
+
+@fork_only
+class TestWorkerCrashRecovery:
+    def test_crash_once_retries_to_bit_identical_completion(
+        self, tmp_path, monkeypatch
+    ):
+        pairs = _fault_pairs()
+        counter = str(tmp_path / "attempts")
+        monkeypatch.setattr(
+            executor_module,
+            "_fault_hook",
+            _crash_once_hook(counter, os.getpid()),
+        )
+        sweep = _fault_sweep(chunk=1)
+        with sweep:
+            streamed = {
+                task: result for task, result in sweep.prefetch_iter(pairs)
+            }
+        health = sweep.health
+        assert len(streamed) == len(pairs)
+        assert health.tasks_failed == 0
+        assert health.retries >= 1
+        assert health.respawns >= 1
+        assert health.healthy is False  # retries happened
+
+        monkeypatch.setattr(executor_module, "_fault_hook", None)
+        expected = _serial_reference(pairs)
+        for key, result in streamed.items():
+            want = expected[key]
+            assert result.cycles == want.cycles
+            assert result.l1_misses == want.l1_misses
+            assert result.l2_accesses == want.l2_accesses
+
+    def test_broken_pool_is_replaced_not_reused(self, tmp_path, monkeypatch):
+        pairs = _fault_pairs()
+        counter = str(tmp_path / "attempts")
+        monkeypatch.setattr(
+            executor_module,
+            "_fault_hook",
+            _crash_once_hook(counter, os.getpid()),
+        )
+        sweep = _fault_sweep(chunk=1)
+        with sweep:
+            sweep.prefetch(pairs)
+            executor = sweep._executor
+            assert executor is not None
+            # The crash broke the first pool; completion proves a fresh
+            # one was spawned rather than the broken one resubmitted to.
+            assert executor.pools_spawned >= 2
+        assert sweep.health.respawns >= 1
+
+
+@fork_only
+class TestPoisonedTaskBisection:
+    def test_poison_is_isolated_and_reported(self, monkeypatch):
+        pairs = _fault_pairs()
+        parent = os.getpid()
+
+        def poison_hook(name, parameters):
+            if os.getpid() != parent and _is_marker(parameters):
+                os._exit(1)
+
+        monkeypatch.setattr(executor_module, "_fault_hook", poison_hook)
+        sweep = _fault_sweep(chunk=4, max_retries=2)
+        with sweep:
+            completed = list(sweep.prefetch_iter(pairs))
+        health = sweep.health
+
+        assert len(completed) == len(pairs) - 1
+        assert all(not _is_marker(task[1]) for task, _ in completed)
+        assert health.tasks_failed == 1
+        assert health.bisections >= 1
+        assert health.degraded is False
+
+        (error,) = health.task_errors
+        assert error.benchmark == "compress"
+        assert _is_marker(error.parameters)
+        assert error.kind == "crash"
+        assert error.attempts == 3  # initial try + max_retries
+        assert "compress" in str(error.message) or error.error_type
+
+    def test_healthy_results_bit_identical_after_bisection(self, monkeypatch):
+        pairs = _fault_pairs()
+        parent = os.getpid()
+
+        def poison_hook(name, parameters):
+            if os.getpid() != parent and _is_marker(parameters):
+                os._exit(1)
+
+        monkeypatch.setattr(executor_module, "_fault_hook", poison_hook)
+        sweep = _fault_sweep(chunk=4)
+        with sweep:
+            streamed = {
+                task: result for task, result in sweep.prefetch_iter(pairs)
+            }
+
+        monkeypatch.setattr(executor_module, "_fault_hook", None)
+        healthy_pairs = [p for p in pairs if not _is_marker(p[1])]
+        expected = _serial_reference(healthy_pairs)
+        assert set(streamed) == set(expected)
+        for key, result in streamed.items():
+            want = expected[key]
+            assert result.cycles == want.cycles
+            assert result.l1_misses == want.l1_misses
+            assert result.l2_accesses == want.l2_accesses
+
+
+@fork_only
+class TestChunkTimeout:
+    def test_hung_worker_is_killed_and_task_retried(self, tmp_path, monkeypatch):
+        pairs = _fault_pairs()
+        counter = str(tmp_path / "attempts")
+        parent = os.getpid()
+
+        def hang_once_hook(name, parameters):
+            if os.getpid() == parent or not _is_marker(parameters):
+                return
+            with open(counter, "ab") as fh:
+                fh.write(b"x")
+            if os.path.getsize(counter) == 1:
+                time.sleep(120.0)
+
+        monkeypatch.setattr(executor_module, "_fault_hook", hang_once_hook)
+        sweep = _fault_sweep(chunk=1, chunk_timeout=3.0)
+        start = time.monotonic()
+        with sweep:
+            completed = sweep.prefetch(pairs)
+        elapsed = time.monotonic() - start
+        health = sweep.health
+
+        assert completed == len(pairs)
+        assert health.timeouts >= 1
+        assert health.tasks_failed == 0
+        assert health.retries >= 1
+        assert elapsed < 60.0  # the 120s sleep was cut short
+
+
+@fork_only
+class TestSerialDegradation:
+    def test_sick_pool_degrades_and_still_completes(self, monkeypatch):
+        pairs = _fault_pairs()
+        parent = os.getpid()
+
+        def sick_hook(name, parameters):
+            if os.getpid() != parent:
+                os._exit(1)
+
+        monkeypatch.setattr(executor_module, "_fault_hook", sick_hook)
+        sweep = _fault_sweep(max_retries=1, max_respawns=1)
+        with sweep:
+            streamed = {
+                task: result for task, result in sweep.prefetch_iter(pairs)
+            }
+        health = sweep.health
+
+        # Degradation runs everything in the parent, where the hook is
+        # inert — the campaign completes with zero failed tasks.
+        assert health.degraded is True
+        assert len(streamed) == len(pairs)
+        assert health.tasks_failed == 0
+        assert "degraded to serial" in health.summary()
+
+        monkeypatch.setattr(executor_module, "_fault_hook", None)
+        expected = _serial_reference(pairs)
+        for key, result in streamed.items():
+            assert result.cycles == expected[key].cycles
+
+
+class TestAbandonedIteration:
+    def test_closing_the_stream_keeps_the_pool_and_paid_results(self):
+        pairs = _fault_pairs()
+        sweep = _fault_sweep(jobs=2)
+        with sweep:
+            iterator = sweep.prefetch_iter(pairs)
+            first_task, first_result = next(iterator)
+            iterator.close()
+
+            executor = sweep._executor
+            assert executor is not None
+            assert executor.pools_spawned == 1
+
+            # The yielded result (at minimum) must have been memoized;
+            # inflight chunks that finished during cleanup count too.
+            remaining = sweep.prefetch(pairs)
+            assert remaining <= len(pairs) - 1
+            # Abandonment must not have broken the warm pool.
+            assert executor.pools_spawned == 1
+            assert first_result.cycles > 0
+            assert first_task[0] == "compress"
+
+
+class TestCampaignHealth:
+    def test_fresh_ledger_is_healthy(self):
+        health = CampaignHealth()
+        assert health.healthy is True
+        assert health.summary() == "campaign health: 0 tasks ok"
+
+    def test_summary_counts_failures(self):
+        health = CampaignHealth()
+        health.tasks_run = 5
+        health.tasks_failed = 1
+        health.retries = 2
+        assert health.healthy is False
+        summary = health.summary()
+        assert "5 tasks ok" in summary
+        assert "1 failed" in summary
+
+    def test_clean_parallel_campaign_reports_healthy(self):
+        pairs = _fault_pairs()[:3]
+        sweep = _fault_sweep(jobs=2)
+        with sweep:
+            sweep.prefetch(pairs)
+        health = sweep.health
+        assert health.tasks_run == len(pairs)
+        assert health.healthy is True
+        assert health.task_errors == []
+
+    def test_serial_path_records_health_too(self):
+        pairs = _fault_pairs()[:3]
+        sweep = _fault_sweep(jobs=1)
+        with sweep:
+            sweep.prefetch(pairs)
+        assert sweep.health.tasks_run == len(pairs)
+        assert len(sweep.health.chunk_wall_times) == len(pairs)
