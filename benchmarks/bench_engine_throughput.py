@@ -13,13 +13,18 @@ performance trajectory is tracked across PRs.  The JSON schema:
 
     {
       "numba_version": "0.59.1" | null,
+      "jit_warmup_s": ...,                                 // Numba only
       "replay": {
         "conventional":      {"scalar_accesses_per_s": ...,
                               "batched_accesses_per_s": ..., "speedup": ...,
                               "kernel_accesses_per_s": ...,          // Numba only
+                              "kernel_jit_warmup_s": ...,            // Numba only
                               "kernel_speedup_over_batched": ...},   // Numba only
         "conventional_4way": {...},
-        "dri":               {...},
+        "dri":               {...,                         // DRI rows additionally
+                              "kernel_fused_accesses_per_s": ...,    // carry the fused
+                              "kernel_fused_jit_warmup_s": ...,      // engine (Numba
+                              "fused_speedup_over_kernel": ...},     // only)
         "dri_4way":          {...}
       },
       "streamed": {"accesses": 10000000, "batched_accesses_per_s": ...,
@@ -94,6 +99,12 @@ installed — the Numba-free environments record batched/scalar rows only
 (the pure-Python kernel fallback is a semantics oracle, not an engine,
 and timing it would say nothing about the compiled path)."""
 
+FUSED_SPEEDUP_FLOOR = 1.0
+"""The fused DRI engine must be at least as fast as the chunked kernel
+engine on the DRI rows (it removes the per-interval Python boundary and
+the per-interval chunking; it can never be slower by construction).
+Numba only, like the kernel floor."""
+
 REPLAY_KINDS = ("conventional", "conventional_4way", "dri", "dri_4way")
 """Replay rows: Table 1's 64K DM baseline and Figure 6's 64K 4-way, each
 conventional and DRI-driven."""
@@ -111,25 +122,42 @@ def _time_replay(simulator: Simulator, run, repeats: int = REPEATS) -> tuple:
     return best, result
 
 
+def _engines_for(kind: str) -> tuple:
+    """The engines measured for one replay kind.
+
+    The fused engine only appears on the DRI rows: a conventional run
+    under ``kernel-fused`` *is* the chunked kernel engine (the per-run
+    fallback), so measuring it again would duplicate the kernel row.
+    """
+    engines = ("scalar", "batched")
+    if NUMBA_AVAILABLE:
+        engines += ("kernel",)
+        if not kind.startswith("conventional"):
+            engines += ("kernel-fused",)
+    return engines
+
+
 def measure_replay(instructions: int, repeats: int = REPEATS) -> Dict[str, Dict[str, float]]:
     """Accesses/second for every engine on every replay kind.
 
-    The ``kernel`` rows (and ``kernel_speedup_over_batched``) appear only
-    when Numba is installed; a ``kernel`` simulator warms the JIT with one
-    untimed replay so the rows measure steady-state throughput, not
-    compilation.
+    The ``kernel``/``kernel_fused`` rows (and their speedup ratios)
+    appear only when Numba is installed.  The compiled engines' first
+    replay pays JIT compilation; that call is timed *separately* as
+    ``{engine}_jit_warmup_s`` and excluded from the throughput numbers,
+    so the rows measure steady-state throughput and the warm-up cost is
+    tracked rather than discarded.
     """
     parameters = DRIParameters(
         miss_bound=40, size_bound=1024, sense_interval=SENSE_INTERVAL
     )
     four_way = DEFAULT_SYSTEM.with_icache(64 * 1024, associativity=4)
-    engines = ("scalar", "batched") + (("kernel",) if NUMBA_AVAILABLE else ())
     out: Dict[str, Dict[str, float]] = {}
     results = {}
     for kind in REPLAY_KINDS:
         system = four_way if kind.endswith("_4way") else DEFAULT_SYSTEM
         row: Dict[str, float] = {}
-        for engine in engines:
+        for engine in _engines_for(kind):
+            slug = engine.replace("-", "_")
             simulator = Simulator(
                 system=system, trace_instructions=instructions, engine=engine
             )
@@ -137,12 +165,15 @@ def measure_replay(instructions: int, repeats: int = REPEATS) -> Dict[str, Dict[
                 run = lambda: simulator.run_conventional(BENCHMARK)
             else:
                 run = lambda: simulator.run_dri(BENCHMARK, parameters)
-            if engine == "kernel":
-                run()  # JIT warm-up outside the timing
+            if engine in ("kernel", "kernel-fused"):
+                simulator.resolve_workload(BENCHMARK)  # trace generation apart
+                start = time.perf_counter()
+                run()  # JIT compile + first replay, outside the throughput timing
+                row[f"{slug}_jit_warmup_s"] = time.perf_counter() - start
             seconds, result = _time_replay(simulator, run, repeats)
             results[(kind, engine)] = result
-            row[f"{engine}_accesses_per_s"] = result.l1_accesses / seconds
-            row[f"{engine}_wall_clock_s"] = seconds
+            row[f"{slug}_accesses_per_s"] = result.l1_accesses / seconds
+            row[f"{slug}_wall_clock_s"] = seconds
         row["speedup"] = (
             row["batched_accesses_per_s"] / row["scalar_accesses_per_s"]
         )
@@ -150,11 +181,15 @@ def measure_replay(instructions: int, repeats: int = REPEATS) -> Dict[str, Dict[
             row["kernel_speedup_over_batched"] = (
                 row["kernel_accesses_per_s"] / row["batched_accesses_per_s"]
             )
+            if not kind.startswith("conventional"):
+                row["fused_speedup_over_kernel"] = (
+                    row["kernel_fused_accesses_per_s"] / row["kernel_accesses_per_s"]
+                )
         out[kind] = row
     # The engines must agree bit-for-bit or the speedup is meaningless.
     for kind in REPLAY_KINDS:
         scalar_result = results[(kind, "scalar")]
-        for engine in engines[1:]:
+        for engine in _engines_for(kind)[1:]:
             engine_result = results[(kind, engine)]
             assert scalar_result.l1_misses == engine_result.l1_misses, (kind, engine)
             assert scalar_result.l2_accesses == engine_result.l2_accesses, (kind, engine)
@@ -354,6 +389,13 @@ def run_bench(quick: bool = False) -> Dict[str, object]:
             "shootout": measure_shootout(instructions, shootout_benchmarks),
         },
     }
+    if NUMBA_AVAILABLE:
+        payload["jit_warmup_s"] = sum(
+            value
+            for row in payload["replay"].values()
+            for key, value in row.items()
+            if key.endswith("_jit_warmup_s")
+        )
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "BENCH_engine.json"
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -372,6 +414,11 @@ def test_engine_throughput(benchmark):
             assert (
                 payload["replay"][kind]["kernel_speedup_over_batched"]
                 >= KERNEL_SPEEDUP_FLOOR
+            ), kind
+        for kind in ("dri", "dri_4way"):
+            assert (
+                payload["replay"][kind]["fused_speedup_over_kernel"]
+                >= FUSED_SPEEDUP_FLOOR
             ), kind
 
 
@@ -394,6 +441,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"kernel engine over batched (numba {payload['numba_version']}): "
               f"{kernel_dm:.1f}x DM, {kernel_4way:.1f}x 4-way "
               f"(floor {KERNEL_SPEEDUP_FLOOR}x)")
+        fused_dm = payload["replay"]["dri"]["fused_speedup_over_kernel"]
+        fused_4way = payload["replay"]["dri_4way"]["fused_speedup_over_kernel"]
+        kernel_ok = kernel_ok and min(fused_dm, fused_4way) >= FUSED_SPEEDUP_FLOOR
+        print(f"fused DRI engine over chunked kernel: {fused_dm:.2f}x DM, "
+              f"{fused_4way:.2f}x 4-way (floor {FUSED_SPEEDUP_FLOOR}x); "
+              f"JIT warm-up {payload['jit_warmup_s']:.1f}s excluded from throughput")
     else:
         print("kernel engine: not measured (Numba absent; batched engine is the auto pick)")
     print(f"streamed replay: {streamed['accesses']:,} accesses at "

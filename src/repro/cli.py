@@ -27,8 +27,9 @@ names), ``--instructions`` (trace length), ``--quick`` (a reduced scale
 for a fast sanity pass), ``--jobs`` (worker processes for the parameter
 sweeps; 0 means all cores, clamped to the task count), ``--chunk``
 (tasks per pool chunk; default adaptive), and ``--engine``
-(``auto``/``kernel``/``batched``/``scalar`` replay engine; ``auto``
-prefers the compiled kernel engine when Numba is installed).  With more than one job the
+(``auto``/``kernel-fused``/``kernel``/``batched``/``scalar`` replay
+engine; ``auto`` prefers the fused DRI kernel engine when Numba is
+installed).  With more than one job the
 figure drivers flatten every (benchmark, grid point) pair into one
 *persistent* worker pool — forked once per command, reused across every
 grid and sensitivity pass — so the pool stays saturated across benchmark
@@ -162,11 +163,13 @@ def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
         choices=ENGINE_KINDS,
         default="auto",
         help=(
-            "replay engine (default auto: the compiled kernel engine when "
+            "replay engine (default auto: the fused DRI kernel engine when "
             "Numba is importable, else the batched numpy engine; all "
-            "engines are bit-identical — scalar is the per-address "
-            "reference loop, and an explicit 'kernel' without Numba "
-            "errors naming the [kernel] install extra)"
+            "engines are bit-identical — kernel-fused compiles the whole "
+            "sense-interval loop and falls back to the chunked kernel for "
+            "runs it cannot take, scalar is the per-address reference "
+            "loop, and an explicit 'kernel' or 'kernel-fused' without "
+            "Numba errors naming the [kernel] install extra)"
         ),
     )
 

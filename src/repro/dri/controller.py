@@ -29,6 +29,18 @@ request to the ladder and the bounds, so no policy can reach a size the
 hardware could not.  The controller owns no cache state, only the current
 size, and reports decisions that the DRI i-cache applies to its tag/data
 arrays.
+
+The mechanism is a pure array-state step function,
+:func:`repro.memory.kernels.dri_fused.mechanism_step` — ladder as an
+int64 array, throttle state as an int64 triple, one call per interval
+boundary — and the controller is its scalar driver: ``end_of_interval``
+asks the policy for a direction, then applies the *same compiled step*
+(operating on the *same live throttle array*) that the fused DRI kernel
+applies in-loop, so the scalar oracle, the chunked engines, and the
+fused engine share the mechanism verbatim.  After a fused chunk the
+kernel has already run the mechanism for every closed interval;
+:meth:`ResizeController.adopt_fused` folds the resulting size and
+interval count back into the controller.
 """
 
 from __future__ import annotations
@@ -36,10 +48,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+import numpy as np
+
 from repro.config.parameters import DRIParameters
 from repro.dri.mask import SizeMask
 from repro.dri.policies import IntervalStats, ResizePolicy, ResizeRequest, build_policy
-from repro.dri.throttle import ResizeDecision, ResizeThrottle
+from repro.dri.throttle import CODE_DECISIONS, DECISION_CODES, ResizeDecision, ResizeThrottle
+from repro.memory.kernels.dri_fused import ladder_down, ladder_up, mechanism_step
 
 
 @dataclass(frozen=True)
@@ -84,7 +99,10 @@ class ResizeController:
         self._interval_index = 0
         # The one reachable-size ladder shared with the mask: built from
         # the size-bound up by the divisibility factor, full size included.
-        self._ladder = mask.allowed_sizes(parameters.divisibility)
+        # The array form is what the mechanism step and the fused kernel
+        # consume; the list stays for the Python-facing queries.
+        self.ladder = mask.allowed_sizes_array(parameters.divisibility)
+        self._ladder = [int(size) for size in self.ladder]
 
     # ------------------------------------------------------------------
     # Queries
@@ -123,24 +141,14 @@ class ResizeController:
     # Decisions
     # ------------------------------------------------------------------
     def _downsized(self, target_size: Optional[int] = None) -> int:
-        smaller = [size for size in self._ladder if size < self._current_size]
-        if not smaller:
-            return self._current_size
-        if target_size is None:
-            return smaller[-1]
-        # As far down the ladder as the target asks, but never below it
-        # (and never below the size-bound, which bounds the ladder).
-        reachable = [size for size in smaller if size >= target_size]
-        return reachable[0] if reachable else smaller[0]
+        """The size one downsize reaches (ladder clamping, kernel-shared)."""
+        target = -1 if target_size is None else target_size
+        return int(ladder_down(self.ladder, self._current_size, target))
 
     def _upsized(self, target_size: Optional[int] = None) -> int:
-        larger = [size for size in self._ladder if size > self._current_size]
-        if not larger:
-            return self._current_size
-        if target_size is None:
-            return larger[0]
-        reachable = [size for size in larger if size <= target_size]
-        return reachable[-1] if reachable else larger[0]
+        """The size one upsize reaches (ladder clamping, kernel-shared)."""
+        target = -1 if target_size is None else target_size
+        return int(ladder_up(self.ladder, self._current_size, target))
 
     def end_of_interval(
         self,
@@ -152,11 +160,13 @@ class ResizeController:
 
         ``accesses``/``instructions`` enrich the policy's observation when
         the caller tracks them (the replay paths do); miss-count-only
-        calls keep working for policies that need nothing more.
+        calls keep working for policies that need nothing more.  The
+        clamp/throttle/ladder application is one call of the shared
+        :func:`~repro.memory.kernels.dri_fused.mechanism_step`, operating
+        on the same throttle state array the fused kernel mutates.
         """
         if miss_count < 0:
             raise ValueError("miss count cannot be negative")
-        self.throttle.interval_tick()
         previous = self._current_size
         stats = IntervalStats(
             index=self._interval_index,
@@ -170,32 +180,35 @@ class ResizeController:
             at_maximum=self.at_maximum,
         )
         request = ResizeRequest.coerce(self.policy.observe(stats))
-        decision = ResizeDecision.NONE
-        throttled = False
-
-        if request.direction is ResizeDecision.DOWNSIZE and not self.at_minimum:
-            if self.throttle.downsize_allowed():
-                decision = ResizeDecision.DOWNSIZE
-            else:
-                throttled = True
-        elif request.direction is ResizeDecision.UPSIZE and not self.at_maximum:
-            decision = ResizeDecision.UPSIZE
-
-        if decision is ResizeDecision.DOWNSIZE:
-            self._current_size = self._downsized(request.target_size)
-        elif decision is ResizeDecision.UPSIZE:
-            self._current_size = self._upsized(request.target_size)
-
-        self.throttle.record(decision)
+        target = -1 if request.target_size is None else request.target_size
+        decision_code, new_size, throttled_flag = mechanism_step(
+            self.ladder,
+            self.throttle.state,
+            previous,
+            DECISION_CODES[request.direction],
+            target,
+            self.parameters.throttle.saturation_value,
+            self.parameters.throttle.hold_intervals,
+        )
+        self._current_size = int(new_size)
         self._interval_index += 1
         return ResizeOutcome(
-            decision=decision,
+            decision=CODE_DECISIONS[int(decision_code)],
             previous_size=previous,
             new_size=self._current_size,
             miss_count=miss_count,
-            throttled=throttled,
+            throttled=bool(throttled_flag),
             requested=request.direction,
         )
+
+    def adopt_fused(self, new_size: int, intervals: int) -> None:
+        """Fold the state a fused-kernel chunk left behind into the
+        controller: the kernel already ran :func:`mechanism_step` for
+        ``intervals`` closed boundaries on the shared throttle array and
+        ended at ``new_size``."""
+        self.mask.sets_for_size(new_size)  # validates range and power of two
+        self._current_size = int(new_size)
+        self._interval_index += intervals
 
     def force_size(self, size_bytes: int) -> None:
         """Set the size directly (used by tests and by warm-start scenarios)."""

@@ -8,6 +8,14 @@ suppresses this with a small saturating counter: when oscillation between
 two adjacent sizes is detected repeatedly, **downsizing is blocked for a
 fixed number of sense intervals** (ten in the paper) while upsizing
 remains allowed.
+
+The throttle's state lives in a three-slot int64 array (``state``) and
+every update goes through the compiled step functions of
+:mod:`repro.memory.kernels.dri_fused` — the *same* functions the fused
+DRI kernel calls inside its interval loop.  The scalar oracle, the
+chunked engines, and the fused kernel therefore share one implementation
+of the throttle semantics (and, on the fused path, one live array), so
+they cannot drift.
 """
 
 from __future__ import annotations
@@ -15,6 +23,17 @@ from __future__ import annotations
 from enum import Enum
 
 from repro.config.parameters import ThrottleConfig
+from repro.memory.kernels.dri_fused import (
+    DECIDE_DOWNSIZE,
+    DECIDE_NONE,
+    DECIDE_UPSIZE,
+    THROTTLE_COUNTER,
+    THROTTLE_ENGAGEMENTS,
+    THROTTLE_HOLD,
+    make_throttle_state,
+    throttle_record_step,
+    throttle_tick_step,
+)
 
 
 class ResizeDecision(Enum):
@@ -23,6 +42,17 @@ class ResizeDecision(Enum):
     NONE = "none"
     UPSIZE = "upsize"
     DOWNSIZE = "downsize"
+
+
+DECISION_CODES = {
+    ResizeDecision.NONE: DECIDE_NONE,
+    ResizeDecision.UPSIZE: DECIDE_UPSIZE,
+    ResizeDecision.DOWNSIZE: DECIDE_DOWNSIZE,
+}
+"""Enum -> kernel decision code (the kernel layer speaks int64 only)."""
+
+CODE_DECISIONS = {code: decision for decision, code in DECISION_CODES.items()}
+"""Kernel decision code -> enum."""
 
 
 class ResizeThrottle:
@@ -42,10 +72,8 @@ class ResizeThrottle:
 
     def __init__(self, config: ThrottleConfig | None = None) -> None:
         self.config = config if config is not None else ThrottleConfig()
-        self._counter = 0
-        self._hold_remaining = 0
+        self.state = make_throttle_state()
         self._last_direction: ResizeDecision = ResizeDecision.NONE
-        self.engagements = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -53,17 +81,22 @@ class ResizeThrottle:
     @property
     def counter(self) -> int:
         """Current saturating-counter value."""
-        return self._counter
+        return int(self.state[THROTTLE_COUNTER])
 
     @property
     def holding(self) -> bool:
         """True while downsizing is being suppressed."""
-        return self._hold_remaining > 0
+        return int(self.state[THROTTLE_HOLD]) > 0
 
     @property
     def hold_remaining(self) -> int:
         """Intervals left in the current hold period."""
-        return self._hold_remaining
+        return int(self.state[THROTTLE_HOLD])
+
+    @property
+    def engagements(self) -> int:
+        """How many times the throttle has engaged a hold."""
+        return int(self.state[THROTTLE_ENGAGEMENTS])
 
     def downsize_allowed(self) -> bool:
         """Whether the controller may downsize this interval."""
@@ -74,10 +107,7 @@ class ResizeThrottle:
     # ------------------------------------------------------------------
     def interval_tick(self) -> None:
         """Advance one sense interval (decrements an active hold)."""
-        if self._hold_remaining > 0:
-            self._hold_remaining -= 1
-            if self._hold_remaining == 0:
-                self._counter = 0
+        throttle_tick_step(self.state)
 
     def record(self, decision: ResizeDecision) -> None:
         """Record the controller's decision for this interval.
@@ -86,18 +116,17 @@ class ResizeThrottle:
         decays it by one.  Saturation engages a hold of ``hold_intervals``
         intervals during which downsizing is suppressed.
         """
-        if decision is ResizeDecision.NONE:
-            if self._counter > 0:
-                self._counter -= 1
-            return
-        self._counter = min(self._counter + 1, self.config.saturation_value)
-        if self._counter >= self.config.saturation_value and not self.holding:
-            self._hold_remaining = self.config.hold_intervals
-            self.engagements += 1
-        self._last_direction = decision
+        throttle_record_step(
+            self.state,
+            DECISION_CODES[decision],
+            self.config.saturation_value,
+            self.config.hold_intervals,
+        )
+        if decision is not ResizeDecision.NONE:
+            self._last_direction = decision
 
     def reset(self) -> None:
-        """Forget all throttle state."""
-        self._counter = 0
-        self._hold_remaining = 0
+        """Forget the counter and hold (``engagements`` is cumulative)."""
+        self.state[THROTTLE_COUNTER] = 0
+        self.state[THROTTLE_HOLD] = 0
         self._last_direction = ResizeDecision.NONE

@@ -14,6 +14,16 @@ from repro.memory.kernels.classify import (
     classify_lru,
     classify_random,
 )
+from repro.memory.kernels.dri_fused import (
+    DECISION_NAMES,
+    fused_dri_chunk,
+    ladder_down,
+    ladder_up,
+    make_throttle_state,
+    mechanism_step,
+    throttle_record_step,
+    throttle_tick_step,
+)
 from repro.memory.kernels.runtime import (
     KERNEL_EXTRA,
     NUMBA_AVAILABLE,
@@ -29,6 +39,14 @@ __all__ = [
     "classify_fifo",
     "classify_lru",
     "classify_random",
+    "DECISION_NAMES",
+    "fused_dri_chunk",
+    "ladder_down",
+    "ladder_up",
+    "make_throttle_state",
+    "mechanism_step",
+    "throttle_record_step",
+    "throttle_tick_step",
     "KERNEL_EXTRA",
     "NUMBA_AVAILABLE",
     "KernelUnavailableError",

@@ -28,6 +28,13 @@ Array contracts (DESIGN.md §10)
   order plus the chunk's miss and eviction counts (an eviction is a miss
   that displaced a valid block, i.e. a fill into a full set).
 
+The fused DRI engine (:mod:`repro.memory.kernels.dri_fused`, DESIGN.md
+§12) inlines the LRU probe loop of :func:`classify_lru` — which with one
+way degenerates exactly to :func:`classify_direct` — into a single
+kernel that also owns the sense-interval cycle; the per-chunk kernels
+here remain the engine for conventional caches and for DRI runs whose
+policy does not compile.
+
 The semantics mirror :meth:`repro.memory.cache.Cache._probe_set` line
 for line: hit on the first way holding the tag; on a miss prefer the
 first empty frame (no policy consultation, no eviction), else ask the

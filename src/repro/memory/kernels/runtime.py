@@ -17,16 +17,21 @@ one guarded import:
   (``engine="auto"`` never raises: it silently falls back to
   ``batched``).
 
-The fallback matrix (see DESIGN.md §10):
+The fallback matrix (see DESIGN.md §10/§12):
 
-==============  ====================  ==================================
-engine request  Numba present         Numba absent
-==============  ====================  ==================================
-``auto``        ``kernel``            ``batched`` (silent fallback)
-``kernel``      ``kernel``            :class:`KernelUnavailableError`
-``batched``     ``batched``           ``batched``
-``scalar``      ``scalar``            ``scalar``
-==============  ====================  ==================================
+================  ==========================  ==================================
+engine request    Numba present               Numba absent
+================  ==========================  ==================================
+``auto``          ``kernel-fused``            ``batched`` (silent fallback)
+``kernel-fused``  ``kernel-fused``; chunked   :class:`KernelUnavailableError`
+                  ``kernel`` for runs the
+                  fused loop cannot take
+                  (non-compilable policy,
+                  conventional caches)
+``kernel``        ``kernel``                  :class:`KernelUnavailableError`
+``batched``       ``batched``                 ``batched``
+``scalar``        ``scalar``                  ``scalar``
+================  ==========================  ==================================
 
 ``Cache.access_batch(..., kernel=True)`` bypasses the selector and runs
 the kernel functions directly — compiled when Numba is present, the
@@ -61,11 +66,16 @@ def numba_version() -> Optional[str]:
     return _numba.__version__
 
 
-def require_numba() -> None:
-    """Raise :class:`KernelUnavailableError` unless Numba is importable."""
-    if _numba is None:
+def require_numba(engine: str = "kernel") -> None:
+    """Raise :class:`KernelUnavailableError` unless Numba is importable.
+
+    Keys off :data:`NUMBA_AVAILABLE` (not the private import) so the
+    selector and this guard can never disagree — including under test
+    monkeypatching of the public flag.
+    """
+    if not NUMBA_AVAILABLE:
         raise KernelUnavailableError(
-            "engine 'kernel' requires Numba, which is not installed; "
+            f"engine {engine!r} requires Numba, which is not installed; "
             f"install the optional extra (pip install .[{KERNEL_EXTRA}]) "
             "or use engine='auto', which falls back to the batched engine"
         )

@@ -17,16 +17,29 @@ This module provides that replay loop in two interchangeable forms:
   classification and L2 drain alike) goes through the compiled kernel
   layer (:mod:`repro.memory.kernels`, DESIGN.md §10): one in-order
   Numba-compiled loop over the tag-plane and replacement-state arrays,
-  with no argsort, wavefronts, or scalar tail.
+  with no argsort, wavefronts, or scalar tail;
+* :func:`replay_fused` — the fused DRI engine (DESIGN.md §12): for DRI
+  runs whose resize policy compiles
+  (:meth:`~repro.dri.policies.base.ResizePolicy.compiled_step`), the
+  *entire* sense-interval cycle — classification, interval-boundary
+  detection, the resize decision, ladder stepping, throttling, set
+  gating, and the L2 drain — runs inside one compiled call per
+  :data:`DEFAULT_CHUNK_ACCESSES`-sized chunk
+  (:func:`~repro.memory.kernels.dri_fused.fused_dri_chunk`), with zero
+  Python per interval.  Runs the fused loop cannot take (non-compilable
+  policies, auto-interval caches, conventional replays) transparently
+  fall back to the chunked kernel engine, chunk boundaries and all.
 
-Engine selection: ``"auto"`` resolves to ``"kernel"`` when Numba is
+Engine selection: ``"auto"`` resolves to ``"kernel-fused"`` when Numba is
 importable and silently to ``"batched"`` otherwise; asking for
-``engine="kernel"`` explicitly without Numba raises a
-:class:`~repro.memory.kernels.KernelUnavailableError` naming the install
-extra (the pure-Python kernel fallback is bit-identical but far slower
-than batched, so it is never selected as an *engine* implicitly —
+``engine="kernel"`` or ``"kernel-fused"`` explicitly without Numba raises
+a :class:`~repro.memory.kernels.KernelUnavailableError` naming the
+install extra (the pure-Python kernel fallback is bit-identical but far
+slower than batched, so it is never selected as an *engine* implicitly —
 ``Cache.access_batch(..., kernel=True)`` reaches it directly for the
-equivalence tests).
+equivalence tests).  :func:`engine_for_run` concretises a resolved
+engine for one specific run (the fused engine's per-run fallback), so
+results and sweep memo keys record the engine that actually executed.
 
 Both engines consume any
 :class:`~repro.workloads.source.TraceSource` — an in-memory
@@ -55,9 +68,11 @@ from repro.config.parameters import DRIParameters
 from repro.config.system import SystemConfig
 from repro.cpu.pipeline import TimingModel
 from repro.dri.dri_cache import DRIICache
+from repro.dri.policies import build_policy
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.kernels import runtime as kernel_runtime
+from repro.memory.replacement import LRUState
 from repro.workloads.source import TraceSource, as_trace_source
 from repro.workloads.trace import InstructionTrace
 
@@ -67,28 +82,57 @@ TraceLike = Union[InstructionTrace, TraceSource]
 DEFAULT_CHUNK_ACCESSES = 1 << 16
 """Chunk length (in accesses) for runs without sense-interval boundaries."""
 
-ENGINE_KINDS = ("auto", "kernel", "batched", "scalar")
-"""Accepted engine selectors: "auto" prefers the compiled kernel engine
-when Numba is importable and falls back to the batched engine otherwise."""
+ENGINE_KINDS = ("auto", "kernel-fused", "kernel", "batched", "scalar")
+"""Accepted engine selectors: "auto" prefers the fused kernel engine when
+Numba is importable and falls back to the batched engine otherwise."""
 
 
 def resolve_engine(kind: str) -> str:
     """Validate an engine selector and resolve ``"auto"``.
 
-    ``"auto"`` resolves to ``"kernel"`` when Numba is importable, else
-    silently to ``"batched"`` (the graceful-degradation contract: a
+    ``"auto"`` resolves to ``"kernel-fused"`` when Numba is importable,
+    else silently to ``"batched"`` (the graceful-degradation contract: a
     numpy-only install never errors and never silently runs the slow
-    pure-Python kernel loop).  An *explicit* ``"kernel"`` without Numba
-    raises :class:`~repro.memory.kernels.KernelUnavailableError` naming
-    the missing install extra.
+    pure-Python kernel loop).  An *explicit* ``"kernel"`` or
+    ``"kernel-fused"`` without Numba raises
+    :class:`~repro.memory.kernels.KernelUnavailableError` naming the
+    missing install extra.
     """
     if kind not in ENGINE_KINDS:
         raise ValueError(f"engine must be one of {ENGINE_KINDS}, got {kind!r}")
     if kind == "auto":
-        return "kernel" if kernel_runtime.NUMBA_AVAILABLE else "batched"
-    if kind == "kernel":
-        kernel_runtime.require_numba()
+        return "kernel-fused" if kernel_runtime.NUMBA_AVAILABLE else "batched"
+    if kind in ("kernel", "kernel-fused"):
+        kernel_runtime.require_numba(kind)
     return kind
+
+
+def engine_for_run(
+    resolved: str,
+    system: SystemConfig,
+    parameters: Optional[DRIParameters] = None,
+) -> str:
+    """The engine a specific run executes under a resolved selector.
+
+    Only the fused engine has per-run fallback: a run it cannot take —
+    no DRI parameters (conventional/fixed-size replay), a resize policy
+    without a compiled form, or an L2 block smaller than the L1's (the
+    in-kernel drain needs a non-negative block-address shift) — executes
+    on the chunked kernel engine instead.  Sweep memoisation and
+    :class:`~repro.simulation.results.SimulationResult` record *this*
+    name, never the ambiguous selector, so memo keys can never alias two
+    different execution paths.
+    """
+    if resolved != "kernel-fused":
+        return resolved
+    if parameters is None:
+        return "kernel"
+    step = build_policy(parameters.policy, parameters).compiled_step()
+    if step is None or step.kind != "miss-bound":
+        return "kernel"
+    if system.l2_cache.offset_bits < system.l1_icache.offset_bits:
+        return "kernel"
+    return "kernel-fused"
 
 
 def replay_scalar(
@@ -206,9 +250,11 @@ def replay_batched(
             # left open for ``finalize`` exactly as the scalar loop
             # leaves it.
             interval_fill += chunk.shape[0]
-            assert interval_fill <= chunk_accesses, (
-                "trace source yielded more than the requested chunk length"
-            )
+            if interval_fill > chunk_accesses:
+                raise ValueError(
+                    "trace source yielded more than the requested chunk length "
+                    f"({interval_fill} accesses into a {chunk_accesses}-access interval)"
+                )
             if interval_fill == chunk_accesses:
                 dri_cache.end_interval(instructions=interval_fill * instructions_per_line)
                 interval_fill = 0
@@ -239,6 +285,64 @@ def replay_kernel(
     return replay_batched(trace, icache, hierarchy, base_cpi, system, dri, kernel=True)
 
 
+def replay_fused(
+    trace: TraceLike,
+    icache: Cache,
+    hierarchy: MemoryHierarchy,
+    base_cpi: float,
+    system: SystemConfig,
+    dri: Optional[DRIParameters] = None,
+) -> int:
+    """Replay ``trace`` through the fused DRI engine.
+
+    Eligible runs — a manually-driven :class:`DRIICache` with LRU state
+    on both levels, an L2 block at least as large as the L1's, and a
+    policy whose :meth:`compiled_step` the kernel implements — stream
+    :data:`DEFAULT_CHUNK_ACCESSES`-sized chunks straight into
+    :meth:`DRIICache.fused_chunk`; interval boundaries fall wherever
+    they fall inside a chunk and are handled entirely in compiled code,
+    so the chunking no longer needs to align with sense intervals at
+    all.  Every other run falls back to :func:`replay_kernel`
+    (bit-identical, interval-aligned chunks, Python ``end_interval`` at
+    each boundary).  :func:`engine_for_run` predicts this fallback from
+    the run parameters alone so callers can key caches correctly.
+    """
+    dri_cache = icache if dri is not None and isinstance(icache, DRIICache) else None
+    if (
+        dri_cache is None
+        or dri_cache.auto_interval
+        or not isinstance(dri_cache._policy, LRUState)
+        or not isinstance(hierarchy.l2._policy, LRUState)
+        or hierarchy.l2.geometry.offset_bits < dri_cache.geometry.offset_bits
+    ):
+        return replay_kernel(trace, icache, hierarchy, base_cpi, system, dri)
+    step = dri_cache.controller.policy.compiled_step()
+    if step is None or step.kind != "miss-bound":
+        return replay_kernel(trace, icache, hierarchy, base_cpi, system, dri)
+
+    source = as_trace_source(trace)
+    timing = TimingModel(pipeline=system.pipeline, base_cpi=base_cpi)
+    l2_latency = system.l1_miss_penalty
+    memory_latency = l2_latency + system.l2_miss_penalty
+    instructions_per_line = source.instructions_per_line
+
+    miss_l2 = 0
+    miss_memory = 0
+    accesses = 0
+    for chunk in source.chunks(DEFAULT_CHUNK_ACCESSES):
+        accesses += chunk.shape[0]
+        l2_hits, l2_misses = dri_cache.fused_chunk(
+            chunk, hierarchy, instructions_per_line
+        )
+        miss_l2 += l2_hits
+        miss_memory += l2_misses
+
+    timing.account_instructions(accesses * instructions_per_line)
+    timing.account_fetch_misses(l2_latency, miss_l2)
+    timing.account_fetch_misses(memory_latency, miss_memory)
+    return timing.cycles
+
+
 def replay(
     trace: TraceLike,
     icache: Cache,
@@ -250,6 +354,8 @@ def replay(
 ) -> int:
     """Replay a trace with the selected engine; returns the cycle count."""
     resolved = resolve_engine(engine)
+    if resolved == "kernel-fused":
+        return replay_fused(trace, icache, hierarchy, base_cpi, system, dri)
     if resolved == "kernel":
         return replay_kernel(trace, icache, hierarchy, base_cpi, system, dri)
     if resolved == "batched":

@@ -38,6 +38,13 @@ class SimulationResult:
     resizing_tag_bits:
         Number of resizing tag bits the configuration stores (0 for
         conventional runs).
+    engine:
+        The replay engine that actually executed the run — always a
+        concrete name (``"kernel-fused"``, ``"kernel"``, ``"batched"``,
+        ``"scalar"``), never ``"auto"``, and reflecting the fused
+        engine's per-run fallback (see
+        :func:`~repro.simulation.engine.engine_for_run`).  Empty for
+        results built by callers that predate the field.
     """
 
     benchmark: str
@@ -50,6 +57,7 @@ class SimulationResult:
     l2_misses: int
     dri_stats: Optional[DRIStatistics] = None
     resizing_tag_bits: int = 0
+    engine: str = ""
 
     def __post_init__(self) -> None:
         if self.cache_kind not in ("conventional", "dri"):

@@ -13,11 +13,15 @@ benchmark, many cache configurations).
 
 The replay itself lives in :mod:`repro.simulation.engine`; the simulator
 is a thin wrapper that builds the caches and selects the scalar, batched,
-or compiled-kernel engine (``engine="auto"`` resolves to the kernel
-engine when Numba is importable and to batched otherwise; all engines
-are bit-identical — the dense tag-plane substrate vectorises
-direct-mapped and set-associative classification alike, and the kernel
-layer compiles the per-chunk loop outright, see DESIGN.md §6/§10).
+compiled-kernel, or fused engine (``engine="auto"`` resolves to the
+fused ``"kernel-fused"`` engine when Numba is importable and to batched
+otherwise; all engines are bit-identical — the dense tag-plane substrate
+vectorises direct-mapped and set-associative classification alike, the
+kernel layer compiles the per-chunk loop outright, and the fused engine
+compiles the whole DRI sense-interval cycle, see DESIGN.md §6/§10/§12).
+Every :class:`SimulationResult` records the *concrete* engine that
+executed it (:meth:`Simulator.engine_for`), including the fused engine's
+per-run fallback to the chunked kernel.
 
 Workloads resolve to a :class:`~repro.workloads.source.TraceSource`:
 benchmark names and specs become (cached) in-memory traces, while any
@@ -37,7 +41,7 @@ from repro.config.system import DEFAULT_SYSTEM, SystemConfig
 from repro.dri.dri_cache import DRIICache
 from repro.memory.cache import Cache
 from repro.memory.hierarchy import MemoryHierarchy
-from repro.simulation.engine import TraceLike
+from repro.simulation.engine import TraceLike, engine_for_run
 from repro.simulation.engine import replay as engine_replay
 from repro.simulation.engine import resolve_engine
 from repro.simulation.results import SimulationResult
@@ -63,13 +67,16 @@ class Simulator:
         Trace-generation seed (all configurations of one benchmark share
         the same trace).
     engine:
-        Replay engine: ``"auto"`` (default; resolves to the compiled
-        ``"kernel"`` engine when Numba is importable, else to
-        ``"batched"``), ``"kernel"``, ``"batched"``, or ``"scalar"``.
-        The engines are bit-identical; ``"scalar"`` exists as the
-        semantic reference and for the throughput benchmarks, and an
-        explicit ``"kernel"`` without Numba raises a clear error naming
-        the ``[kernel]`` install extra.
+        Replay engine: ``"auto"`` (default; resolves to the fused
+        ``"kernel-fused"`` engine when Numba is importable, else to
+        ``"batched"``), ``"kernel-fused"``, ``"kernel"``, ``"batched"``,
+        or ``"scalar"``.  The engines are bit-identical; ``"scalar"``
+        exists as the semantic reference and for the throughput
+        benchmarks, ``"kernel-fused"`` transparently runs ineligible
+        runs (non-compilable policies, conventional replays) on the
+        chunked kernel engine, and an explicit ``"kernel"`` or
+        ``"kernel-fused"`` without Numba raises a clear error naming the
+        ``[kernel]`` install extra.
     """
 
     def __init__(
@@ -86,6 +93,16 @@ class Simulator:
         self.seed = seed
         self.engine = resolve_engine(engine)
         self._trace_cache: Dict[Tuple[str, int, int], InstructionTrace] = {}
+
+    def engine_for(self, parameters: Optional[DRIParameters] = None) -> str:
+        """The concrete engine a run with these parameters executes on.
+
+        Identical to :attr:`engine` except under ``"kernel-fused"``,
+        where ineligible runs (no DRI parameters, non-compilable policy,
+        L2 block smaller than the L1's) fall back to ``"kernel"`` — the
+        name results and sweep memo keys must record.
+        """
+        return engine_for_run(self.engine, self.system, parameters)
 
     # ------------------------------------------------------------------
     # Workload handling
@@ -140,6 +157,7 @@ class Simulator:
             l1_misses=icache.stats.misses,
             l2_accesses=hierarchy.l2_accesses,
             l2_misses=hierarchy.l2_misses,
+            engine=self.engine_for(None),
         )
 
     def run_fixed_size(
@@ -176,6 +194,7 @@ class Simulator:
             l1_misses=icache.stats.misses,
             l2_accesses=hierarchy.l2_accesses,
             l2_misses=hierarchy.l2_misses,
+            engine=self.engine_for(None),
         )
 
     def run_dri(self, workload: WorkloadLike, parameters: DRIParameters) -> SimulationResult:
@@ -214,6 +233,7 @@ class Simulator:
             l2_misses=hierarchy.l2_misses,
             dri_stats=icache.dri_stats,
             resizing_tag_bits=icache.resizing_tag_bits,
+            engine=self.engine_for(parameters),
         )
 
     # ------------------------------------------------------------------

@@ -372,15 +372,19 @@ class ParameterSweep:
     ) -> Tuple[str, CacheGeometry, str, DRIParameters]:
         """Memo key: one entry per (benchmark, geometry, engine, parameters).
 
-        The resolved engine identity is part of the key: the engines are
-        bit-identical, but a memo entry must record *which* engine
-        produced it so a campaign that switches engines (e.g. a kernel
-        run next to a batched cross-check) never conflates provenance.
+        The engine identity in the key is the *per-run concrete* engine
+        (:meth:`Simulator.engine_for`), never the ambiguous session
+        selector: under ``"kernel-fused"``, a run whose policy cannot
+        compile executes on the chunked kernel engine, and its memo entry
+        must record that — the engines are bit-identical, but a memo
+        entry must record *which* engine produced it so a campaign that
+        switches engines (e.g. a kernel run next to a batched
+        cross-check) never conflates provenance.
         """
         return (
             trace.name,
             self.simulator.system.l1_icache,
-            self.simulator.engine,
+            self.simulator.engine_for(parameters),
             parameters,
         )
 

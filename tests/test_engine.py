@@ -23,6 +23,7 @@ from repro.simulation.simulator import Simulator
 from repro.simulation.sweep import ParameterSweep
 from repro.workloads.generator import generate_trace
 from repro.workloads.phases import BenchmarkClass, LoopSpec, PhaseSpec, WorkloadSpec
+from repro.workloads.source import TraceSource
 from repro.workloads.spec95 import get_benchmark
 
 INSTRUCTIONS = 80_000
@@ -506,6 +507,75 @@ class TestSenseIntervalUnits:
                 DRIParameters(),
                 instructions_per_access=0,
             )
+
+
+class TestMisalignedSource:
+    """A source that over-yields must fail loudly, not corrupt intervals."""
+
+    class _OverlongSource(TraceSource):
+        """Yields one chunk longer than whatever length was requested."""
+
+        def __init__(self, trace):
+            self.trace = trace
+            self.name = trace.name
+            self.instructions_per_line = trace.instructions_per_line
+            self.line_size = trace.line_size
+
+        @property
+        def num_accesses(self):
+            return len(self.trace)
+
+        def chunks(self, chunk_accesses=1 << 16):
+            yield self.trace.line_addresses
+
+    def test_overlong_chunk_raises_value_error(self):
+        """The batched engine trusts the source for interval alignment; a
+        source that yields more than the requested chunk length would
+        silently mis-place every later resize decision, so it must raise
+        a real ValueError (not an ``assert``, which ``python -O``
+        strips)."""
+        trace = generate_trace(
+            get_benchmark("compress"), total_instructions=20_000, seed=SEED
+        )
+        parameters = DRIParameters(miss_bound=30, size_bound=1024, sense_interval=5_000)
+        simulator = Simulator(trace_instructions=INSTRUCTIONS, seed=SEED, engine="batched")
+        with pytest.raises(ValueError, match="more than the requested chunk length"):
+            simulator.run_dri_trace(self._OverlongSource(trace), 0.75, parameters)
+
+    def test_short_chunks_subdividing_the_interval_are_fine(self):
+        """Under-yielding is legal when the short chunks still tile the
+        interval: they accumulate into the open interval and decisions
+        land at the same points as the scalar loop's."""
+        trace = generate_trace(
+            get_benchmark("compress"), total_instructions=20_000, seed=SEED
+        )
+
+        class ShortChunkSource(TraceSource):
+            def __init__(self, inner):
+                self.trace = inner
+                self.name = inner.name
+                self.instructions_per_line = inner.instructions_per_line
+                self.line_size = inner.line_size
+
+            @property
+            def num_accesses(self):
+                return len(self.trace)
+
+            def chunks(self, chunk_accesses=1 << 16):
+                addresses = self.trace.line_addresses
+                # A divisor of the requested length, so whole intervals
+                # are assembled from several short chunks.
+                step = max(1, chunk_accesses // 5)
+                for start in range(0, addresses.shape[0], step):
+                    yield addresses[start : start + step]
+
+        parameters = DRIParameters(miss_bound=30, size_bound=1024, sense_interval=5_000)
+        batched = Simulator(trace_instructions=INSTRUCTIONS, seed=SEED, engine="batched")
+        scalar = Simulator(trace_instructions=INSTRUCTIONS, seed=SEED, engine="scalar")
+        a = batched.run_dri_trace(ShortChunkSource(trace), 0.75, parameters)
+        b = scalar.run_dri_trace(trace, 0.75, parameters)
+        assert (a.cycles, a.l1_misses) == (b.cycles, b.l1_misses)
+        assert _interval_tuples(a.dri_stats) == _interval_tuples(b.dri_stats)
 
 
 class TestParallelSweep:

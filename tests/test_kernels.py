@@ -362,9 +362,9 @@ class TestGracefulDegradation:
         )
         assert _interval_tuples(a.dri_stats) == _interval_tuples(b.dri_stats)
 
-    def test_auto_with_numba_present_prefers_kernel(self, monkeypatch):
+    def test_auto_with_numba_present_prefers_fused_kernel(self, monkeypatch):
         monkeypatch.setattr(kernel_runtime, "NUMBA_AVAILABLE", True)
-        assert resolve_engine("auto") == "kernel"
+        assert resolve_engine("auto") == "kernel-fused"
 
     def test_importing_repro_does_not_import_numba(self):
         """The tier-1 environment is numpy-only: nothing in the package
@@ -415,7 +415,9 @@ class TestKernelSweepPlumbing:
             pytest.skip("monkeypatched selector needs fork workers")
         if not kernel_runtime.NUMBA_AVAILABLE:
             monkeypatch.setattr(kernel_runtime, "NUMBA_AVAILABLE", True)
-            monkeypatch.setattr(kernel_runtime, "require_numba", lambda: None)
+            monkeypatch.setattr(
+                kernel_runtime, "require_numba", lambda engine="kernel": None
+            )
         parameters = DRIParameters(
             miss_bound=30, size_bound=2048, sense_interval=5_000
         ).with_policy("phase-detect")
